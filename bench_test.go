@@ -1,0 +1,164 @@
+// Repository-level benchmarks: one benchmark per table and figure of the
+// paper's evaluation section. Each benchmark runs the corresponding
+// experiment at the quick scale and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` regenerates every result.
+// Run `go run ./cmd/mhmbench` for the full formatted tables at the default
+// scale.
+package mhmgo_test
+
+import (
+	"testing"
+
+	"mhmgo"
+	"mhmgo/internal/experiments"
+)
+
+func benchScale() experiments.Scale { return experiments.QuickScale() }
+
+// BenchmarkTable1QualityMG64 regenerates Table I: comparative assembly
+// quality of MetaHipMer vs the baseline proxies on the MG64-like community.
+func BenchmarkTable1QualityMG64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1Quality(benchScale())
+		if len(res.Reports) == 0 {
+			b.Fatal("no reports produced")
+		}
+		for _, rep := range res.Reports {
+			if rep.Assembler == "MetaHipMer" {
+				b.ReportMetric(rep.GenomeFraction*100, "genome_fraction_%")
+				b.ReportMetric(float64(rep.Misassemblies), "misassemblies")
+				b.ReportMetric(float64(rep.RRNACount), "rRNAs")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3ReadLocalization regenerates Figure 3: the impact of read
+// localization on the k-mer analysis and alignment stages.
+func BenchmarkFig3ReadLocalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3ReadLocalization(benchScale())
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows produced")
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.AlignmentSpeedup, "align_speedup_x")
+	}
+}
+
+// BenchmarkFig4StrongScaling regenerates Figure 4: strong scaling of the
+// pipeline on the Wetlands-like subset.
+func BenchmarkFig4StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4StrongScaling(benchScale())
+		if len(res.Rows) < 2 {
+			b.Fatal("insufficient scaling rows")
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Efficiency*100, "efficiency_%")
+	}
+}
+
+// BenchmarkFig5StageBreakdown regenerates Figure 5: the per-stage runtime
+// fraction as concurrency grows (same runs as Figure 4).
+func BenchmarkFig5StageBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4StrongScaling(benchScale())
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows produced")
+		}
+		last := res.Rows[len(res.Rows)-1]
+		var alignFrac, total float64
+		for _, st := range last.Stages {
+			total += st.Seconds
+		}
+		for _, st := range last.Stages {
+			if st.Name == "alignment" && total > 0 {
+				alignFrac = st.Seconds / total
+			}
+		}
+		b.ReportMetric(alignFrac*100, "alignment_fraction_%")
+	}
+}
+
+// BenchmarkRayMetaComparison regenerates the Section IV-C comparison between
+// MetaHipMer and Ray Meta at two machine sizes.
+func BenchmarkRayMetaComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RayMetaComparison(benchScale())
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows produced")
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].SpeedupOverRay, "speedup_over_raymeta_x")
+	}
+}
+
+// BenchmarkTable2WeakScaling regenerates Table II: weak scaling rate in
+// kilobases assembled per second per node over the MGSim series.
+func BenchmarkTable2WeakScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2WeakScaling(benchScale())
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows produced")
+		}
+		b.ReportMetric(res.Efficiency*100, "weak_scaling_efficiency_%")
+	}
+}
+
+// BenchmarkGrandChallengeFullVsSubset regenerates the grand-challenge
+// comparison: assembly size and read-mapping fraction of the full dataset vs
+// a subset of lanes.
+func BenchmarkGrandChallengeFullVsSubset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.GrandChallengeFullVsSubset(benchScale())
+		b.ReportMetric(res.LengthRatio, "full_vs_subset_length_x")
+		b.ReportMetric(res.FullMapFraction*100, "full_map_%")
+		b.ReportMetric(res.SubsetMapFraction*100, "subset_map_%")
+	}
+}
+
+// BenchmarkFig6NGA50PerGenome regenerates Figure 6: per-genome NGA50 of
+// MetaHipMer vs the MetaSPAdes proxy.
+func BenchmarkFig6NGA50PerGenome(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6NGA50PerGenome(benchScale())
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows produced")
+		}
+		b.ReportMetric(float64(res.Rows[0].MetaHipMerNGA50), "best_genome_NGA50")
+	}
+}
+
+// BenchmarkAblationOptimizations regenerates the ablation table for the
+// design choices called out in DESIGN.md.
+func BenchmarkAblationOptimizations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Ablations(benchScale())
+		if len(res.Rows) == 0 {
+			b.Fatal("no ablation rows")
+		}
+		for _, row := range res.Rows {
+			if row.Feature == "message aggregation" && row.On > 0 {
+				b.ReportMetric(row.Off/row.On, "aggregation_speedup_x")
+			}
+		}
+	}
+}
+
+// BenchmarkEndToEndPipeline measures a single end-to-end assembly through the
+// public API (not tied to a specific paper table; useful for profiling).
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	commCfg := mhmgo.DefaultCommunityConfig()
+	commCfg.NumGenomes = 4
+	commCfg.MeanGenomeLen = 3000
+	comm := mhmgo.SimulateCommunity(commCfg)
+	readCfg := mhmgo.DefaultReadConfig()
+	readCfg.Coverage = 10
+	reads := mhmgo.SimulateReads(comm, readCfg)
+	cfg := mhmgo.DefaultConfig(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mhmgo.Assemble(reads, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

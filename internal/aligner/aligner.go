@@ -1,0 +1,318 @@
+// Package aligner implements a merAligner-style distributed read-to-contig
+// aligner (Sections II-F and II-I of the paper): a seed-and-extend algorithm
+// over a distributed seed index, with a per-rank software cache for the
+// read-only lookup phase and the read-localization optimization that
+// redistributes reads by the contig they align to so that subsequent
+// iterations hit the cache instead of the network.
+package aligner
+
+import (
+	"sort"
+
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/dht"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// SeedHit records one occurrence of a seed k-mer in a contig.
+type SeedHit struct {
+	ContigID int
+	// Pos is the offset of the seed within the contig (forward strand).
+	Pos int
+	// Reverse is true if the canonical form of the seed is the reverse
+	// complement of the contig's forward-strand seed at Pos.
+	Reverse bool
+}
+
+// Alignment is a read-to-contig alignment.
+type Alignment struct {
+	ReadIdx   int // index of the read in the caller's read ordering
+	ReadID    string
+	ContigID  int
+	ContigPos int // start of the read projection on the contig (may be negative)
+	Reverse   bool
+	Matches   int
+	Mismatch  int
+	AlignLen  int
+}
+
+// Identity returns the fraction of aligned bases that match.
+func (a Alignment) Identity() float64 {
+	if a.AlignLen == 0 {
+		return 0
+	}
+	return float64(a.Matches) / float64(a.AlignLen)
+}
+
+// Options controls index construction and alignment.
+type Options struct {
+	// SeedLen is the seed k-mer length.
+	SeedLen int
+	// SeedStride is the distance between consecutive seeds taken from a read.
+	SeedStride int
+	// MinIdentity is the minimum identity for an alignment to be reported.
+	MinIdentity float64
+	// MinAlignLen is the minimum number of aligned bases.
+	MinAlignLen int
+	// UseCache enables the per-rank software seed cache.
+	UseCache bool
+	// CacheEntries bounds the software cache size.
+	CacheEntries int
+	// MaxHitsPerSeed skips seeds that occur in more than this many contig
+	// positions (repeat seeds), 0 means no limit.
+	MaxHitsPerSeed int
+}
+
+// DefaultOptions returns the aligner defaults for the given seed length.
+func DefaultOptions(seedLen int) Options {
+	return Options{
+		SeedLen:        seedLen,
+		SeedStride:     8,
+		MinIdentity:    0.9,
+		MinAlignLen:    20,
+		UseCache:       true,
+		CacheEntries:   1 << 17,
+		MaxHitsPerSeed: 32,
+	}
+}
+
+// Index is the distributed seed index over a contig set. The contig
+// sequences themselves are replicated (they are much smaller than the reads).
+type Index struct {
+	SeedLen int
+	Seeds   *dht.Map[seq.Kmer, []SeedHit]
+	Contigs []dbg.Contig
+	byID    map[int]int
+}
+
+func kmerHash(k seq.Kmer) uint64 { return k.Hash() }
+
+// BuildIndex constructs the distributed seed index. Collective: each rank
+// indexes a block of the contigs using the aggregated update-only phase.
+func BuildIndex(r *pgas.Rank, contigs []dbg.Contig, opts Options) *Index {
+	if opts.SeedLen <= 0 || opts.SeedLen > seq.MaxK {
+		opts.SeedLen = 31
+	}
+	idx := &Index{SeedLen: opts.SeedLen, Contigs: contigs, byID: make(map[int]int, len(contigs))}
+	for i, c := range contigs {
+		idx.byID[c.ID] = i
+	}
+	idx.Seeds = dht.NewMapCollective[seq.Kmer, []SeedHit](r, kmerHash, 24)
+	combine := func(existing, update []SeedHit, found bool) []SeedHit {
+		return append(existing, update...)
+	}
+	u := idx.Seeds.NewUpdater(r, combine, 512, true)
+	lo, hi := r.BlockRange(len(contigs))
+	for ci := lo; ci < hi; ci++ {
+		c := contigs[ci]
+		it := seq.NewKmerIter(c.Seq, opts.SeedLen)
+		for {
+			km, off, ok := it.Next()
+			if !ok {
+				break
+			}
+			canon, wasRC := km.Canonical()
+			u.Update(canon, []SeedHit{{ContigID: c.ID, Pos: off, Reverse: wasRC}})
+		}
+		r.Compute(float64(len(c.Seq)))
+	}
+	u.Flush()
+	r.Barrier()
+	return idx
+}
+
+// ContigByID returns the contig with the given ID, or ok=false.
+func (idx *Index) ContigByID(id int) (dbg.Contig, bool) {
+	i, ok := idx.byID[id]
+	if !ok {
+		return dbg.Contig{}, false
+	}
+	return idx.Contigs[i], true
+}
+
+// AlignStats summarizes an alignment pass.
+type AlignStats struct {
+	ReadsAligned  int
+	ReadsTotal    int
+	CacheHitRate  float64
+	SeedLookups   uint64
+	SeedCacheHits uint64
+}
+
+// AlignReads aligns the calling rank's block of reads against the index and
+// returns the best alignment found for each read that aligns (at most one
+// per read). Collective only in the sense that the seed index is shared; the
+// work itself is independent per rank.
+func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts Options) ([]Alignment, AlignStats) {
+	if opts.SeedLen <= 0 {
+		opts.SeedLen = idx.SeedLen
+	}
+	if opts.SeedStride <= 0 {
+		opts.SeedStride = 8
+	}
+	if opts.MinIdentity <= 0 {
+		opts.MinIdentity = 0.9
+	}
+	if opts.MinAlignLen <= 0 {
+		opts.MinAlignLen = 20
+	}
+	reader := idx.Seeds.NewCachedReader(r, opts.CacheEntries, opts.UseCache)
+	var out []Alignment
+	stats := AlignStats{ReadsTotal: len(reads)}
+	for i, read := range reads {
+		best, found := alignOne(r, idx, reader, read, opts)
+		if found {
+			best.ReadIdx = readOffset + i
+			best.ReadID = read.ID
+			out = append(out, best)
+		}
+	}
+	stats.ReadsAligned = len(out)
+	hits, misses := reader.Stats()
+	stats.SeedCacheHits = hits
+	stats.SeedLookups = hits + misses
+	stats.CacheHitRate = reader.HitRate()
+	return out, stats
+}
+
+// alignOne seeds and extends one read, returning its best alignment.
+func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []SeedHit], read seq.Read, opts Options) (Alignment, bool) {
+	var best Alignment
+	found := false
+	tried := make(map[[3]int]bool)
+	it := seq.NewKmerIter(read.Seq, opts.SeedLen)
+	nextSeedAt := 0
+	for {
+		km, off, ok := it.Next()
+		if !ok {
+			break
+		}
+		if off < nextSeedAt {
+			continue
+		}
+		nextSeedAt = off + opts.SeedStride
+		canon, readRC := km.Canonical()
+		hits, ok := reader.Get(canon)
+		if !ok {
+			continue
+		}
+		if opts.MaxHitsPerSeed > 0 && len(hits) > opts.MaxHitsPerSeed {
+			continue
+		}
+		for _, h := range hits {
+			contig, ok := idx.ContigByID(h.ContigID)
+			if !ok {
+				continue
+			}
+			// The read aligns to the contig's reverse strand when exactly one
+			// of (read seed canonicalization, contig seed canonicalization)
+			// flipped orientation.
+			reverse := readRC != h.Reverse
+			key := [3]int{h.ContigID, h.Pos - off, boolToInt(reverse)}
+			if tried[key] {
+				continue
+			}
+			tried[key] = true
+			a, ok := extend(read.Seq, contig, h, off, reverse, opts)
+			r.Compute(float64(a.AlignLen))
+			if !ok {
+				continue
+			}
+			if !found || a.Matches > best.Matches {
+				best = a
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// extend performs ungapped extension of a seed match and scores it.
+func extend(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse bool, opts Options) (Alignment, bool) {
+	oriented := readSeq
+	off := seedOff
+	if reverse {
+		oriented = seq.ReverseComplement(readSeq)
+		off = len(readSeq) - seedOff - opts.SeedLen
+	}
+	// Projected start of the read on the contig's forward strand.
+	start := hit.Pos - off
+	matches, mismatches, alignLen := 0, 0, 0
+	for i := 0; i < len(oriented); i++ {
+		cpos := start + i
+		if cpos < 0 || cpos >= len(contig.Seq) {
+			continue
+		}
+		alignLen++
+		if oriented[i] == contig.Seq[cpos] {
+			matches++
+		} else {
+			mismatches++
+		}
+	}
+	a := Alignment{
+		ContigID:  contig.ID,
+		ContigPos: start,
+		Reverse:   reverse,
+		Matches:   matches,
+		Mismatch:  mismatches,
+		AlignLen:  alignLen,
+	}
+	if alignLen < opts.MinAlignLen || a.Identity() < opts.MinIdentity {
+		return a, false
+	}
+	return a, true
+}
+
+// GatherAlignments collects every rank's alignments, sorted by ReadIdx, onto
+// all ranks.
+func GatherAlignments(r *pgas.Rank, local []Alignment) []Alignment {
+	all := pgas.Gather(r, local)
+	var merged []Alignment
+	for _, as := range all {
+		merged = append(merged, as...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ReadIdx < merged[j].ReadIdx })
+	return merged
+}
+
+// LocalizeReads implements the read-localization optimization (Section II-I):
+// every read that aligned to contig c is shipped to rank (c mod P); unaligned
+// reads stay with their current owner. The returned slice is the calling
+// rank's new local read set. alignments must cover the same reads slice
+// passed here (ReadIdx relative to readOffset).
+func LocalizeReads(r *pgas.Rank, reads []seq.Read, readOffset int, alignments []Alignment) []seq.Read {
+	p := r.NRanks()
+	dest := make([]int, len(reads))
+	for i := range dest {
+		dest[i] = r.ID() // unaligned reads stay put
+	}
+	for _, a := range alignments {
+		i := a.ReadIdx - readOffset
+		if i >= 0 && i < len(reads) {
+			dest[i] = a.ContigID % p
+		}
+	}
+	type routedRead struct {
+		Read seq.Read
+		Dest int
+	}
+	items := make([]routedRead, len(reads))
+	for i, rd := range reads {
+		items[i] = routedRead{Read: rd, Dest: dest[i]}
+	}
+	got := dht.Route(r, items, func(it routedRead) int { return it.Dest }, 120)
+	out := make([]seq.Read, len(got))
+	for i, it := range got {
+		out[i] = it.Read
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package aligner
+
+import (
+	"strings"
+	"testing"
+
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+	"mhmgo/internal/sim"
+)
+
+// testContigs builds a small replicated contig set.
+func testContigs() []dbg.Contig {
+	return []dbg.Contig{
+		{ID: 0, Seq: []byte("ACGTTGCAAGCTTACGGATCCGTAAACTGGTCCATTGGCAACGGTATTCCAGGAATTCACAGG"), Depth: 20},
+		{ID: 1, Seq: []byte("TTGGCCAATCGGATTACCGGTTAAGGCCTTGACCGGTATGCCAGTTGGAACCTT"), Depth: 15},
+	}
+}
+
+func buildTestIndex(t *testing.T, m *pgas.Machine, contigs []dbg.Contig, opts Options) *Index {
+	t.Helper()
+	var idx *Index
+	m.Run(func(r *pgas.Rank) {
+		got := BuildIndex(r, contigs, opts)
+		if r.ID() == 0 {
+			idx = got
+		}
+	})
+	return idx
+}
+
+func TestBuildIndexCoversAllSeeds(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 3})
+	contigs := testContigs()
+	opts := DefaultOptions(15)
+	idx := buildTestIndex(t, m, contigs, opts)
+	// Every seed of every contig must be present in the index.
+	for _, c := range contigs {
+		for off, km := range seq.KmersOf(c.Seq, 15) {
+			canon, _ := km.Canonical()
+			hits, ok := idx.Seeds.Lookup(canon)
+			if !ok {
+				t.Fatalf("seed at contig %d offset %d missing", c.ID, off)
+			}
+			found := false
+			for _, h := range hits {
+				if h.ContigID == c.ID && h.Pos == off {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("seed at contig %d offset %d has no hit entry", c.ID, off)
+			}
+		}
+	}
+	if _, ok := idx.ContigByID(1); !ok {
+		t.Error("ContigByID(1) failed")
+	}
+	if _, ok := idx.ContigByID(99); ok {
+		t.Error("ContigByID(99) should fail")
+	}
+}
+
+func TestAlignPerfectRead(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 2})
+	contigs := testContigs()
+	opts := DefaultOptions(15)
+	var alignments []Alignment
+	m.Run(func(r *pgas.Rank) {
+		idx := BuildIndex(r, contigs, opts)
+		var reads []seq.Read
+		if r.ID() == 0 {
+			reads = []seq.Read{
+				{ID: "fwd", Seq: contigs[0].Seq[5:45]},
+				{ID: "rev", Seq: seq.ReverseComplement(contigs[1].Seq[10:50])},
+				{ID: "junk", Seq: []byte(strings.Repeat("ACAC", 10))},
+			}
+		}
+		got, _ := AlignReads(r, idx, reads, 0, opts)
+		all := GatherAlignments(r, got)
+		if r.ID() == 0 {
+			alignments = all
+		}
+	})
+	if len(alignments) != 2 {
+		t.Fatalf("got %d alignments, want 2: %+v", len(alignments), alignments)
+	}
+	fwd := alignments[0]
+	if fwd.ReadID != "fwd" || fwd.ContigID != 0 || fwd.ContigPos != 5 || fwd.Reverse {
+		t.Errorf("forward alignment wrong: %+v", fwd)
+	}
+	if fwd.Identity() != 1.0 || fwd.AlignLen != 40 {
+		t.Errorf("forward alignment score wrong: %+v", fwd)
+	}
+	rev := alignments[1]
+	if rev.ReadID != "rev" || rev.ContigID != 1 || rev.ContigPos != 10 || !rev.Reverse {
+		t.Errorf("reverse alignment wrong: %+v", rev)
+	}
+}
+
+func TestAlignToleratesMismatches(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 1})
+	contigs := testContigs()
+	opts := DefaultOptions(15)
+	opts.MinIdentity = 0.85
+	m.Run(func(r *pgas.Rank) {
+		idx := BuildIndex(r, contigs, opts)
+		readSeq := append([]byte(nil), contigs[0].Seq[2:52]...)
+		readSeq[30] = flipBase(readSeq[30])
+		readSeq[40] = flipBase(readSeq[40])
+		got, _ := AlignReads(r, idx, []seq.Read{{ID: "noisy", Seq: readSeq}}, 0, opts)
+		if len(got) != 1 {
+			t.Fatalf("noisy read did not align")
+		}
+		if got[0].Mismatch != 2 || got[0].ContigPos != 2 {
+			t.Errorf("alignment = %+v", got[0])
+		}
+	})
+}
+
+func flipBase(c byte) byte {
+	if c == 'A' {
+		return 'C'
+	}
+	return 'A'
+}
+
+func TestAlignRejectsLowIdentity(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 1})
+	contigs := testContigs()
+	opts := DefaultOptions(15)
+	opts.MinIdentity = 0.99
+	m.Run(func(r *pgas.Rank) {
+		idx := BuildIndex(r, contigs, opts)
+		readSeq := append([]byte(nil), contigs[0].Seq[0:40]...)
+		for i := 20; i < 30; i++ {
+			readSeq[i] = flipBase(readSeq[i])
+		}
+		got, _ := AlignReads(r, idx, []seq.Read{{ID: "bad", Seq: readSeq}}, 0, opts)
+		if len(got) != 0 {
+			t.Errorf("low-identity read should not align: %+v", got)
+		}
+	})
+}
+
+func TestSoftwareCacheReducesCommunication(t *testing.T) {
+	comm := sim.GenerateCommunity(sim.CommunityConfig{NumGenomes: 2, MeanGenomeLen: 4000, Seed: 31, StrainFraction: 0})
+	contigs := make([]dbg.Contig, len(comm.Genomes))
+	for i, g := range comm.Genomes {
+		contigs[i] = dbg.Contig{ID: i, Seq: g.Seq, Depth: 20}
+	}
+	reads := sim.SimulateReads(comm, sim.ReadConfig{ReadLen: 80, InsertSize: 200, ErrorRate: 0.01, Coverage: 10, Seed: 32})
+
+	run := func(useCache bool) (float64, AlignStats) {
+		m := pgas.NewMachine(pgas.Config{Ranks: 4, RanksPerNode: 1})
+		opts := DefaultOptions(21)
+		opts.UseCache = useCache
+		var stats AlignStats
+		res := m.Run(func(r *pgas.Rank) {
+			idx := BuildIndex(r, contigs, opts)
+			lo, hi := r.BlockRange(len(reads))
+			_, s := AlignReads(r, idx, reads[lo:hi], lo, opts)
+			if r.ID() == 0 {
+				stats = s
+			}
+		})
+		return res.SimSeconds, stats
+	}
+	cachedTime, cachedStats := run(true)
+	uncachedTime, _ := run(false)
+	if cachedStats.CacheHitRate <= 0.1 {
+		t.Errorf("cache hit rate %v too low", cachedStats.CacheHitRate)
+	}
+	if cachedTime >= uncachedTime {
+		t.Errorf("software cache should reduce simulated time: %v vs %v", cachedTime, uncachedTime)
+	}
+}
+
+func TestAlignmentRateOnSimulatedReads(t *testing.T) {
+	comm := sim.GenerateCommunity(sim.CommunityConfig{NumGenomes: 3, MeanGenomeLen: 5000, Seed: 41, StrainFraction: 0})
+	contigs := make([]dbg.Contig, len(comm.Genomes))
+	for i, g := range comm.Genomes {
+		contigs[i] = dbg.Contig{ID: i, Seq: g.Seq, Depth: 20}
+	}
+	reads := sim.SimulateReads(comm, sim.ReadConfig{ReadLen: 100, InsertSize: 250, ErrorRate: 0.01, Coverage: 8, Seed: 42})
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	opts := DefaultOptions(21)
+	var aligned, total int
+	m.Run(func(r *pgas.Rank) {
+		idx := BuildIndex(r, contigs, opts)
+		lo, hi := r.BlockRange(len(reads))
+		got, _ := AlignReads(r, idx, reads[lo:hi], lo, opts)
+		all := GatherAlignments(r, got)
+		if r.ID() == 0 {
+			aligned, total = len(all), len(reads)
+		}
+	})
+	rate := float64(aligned) / float64(total)
+	if rate < 0.9 {
+		t.Errorf("only %v of reads aligned to their source genomes", rate)
+	}
+}
+
+func TestLocalizeReadsGroupsByContig(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	contigs := testContigs()
+	opts := DefaultOptions(15)
+	// Build reads all drawn from contig 0 except a few unaligned ones.
+	var reads []seq.Read
+	for i := 0; i+40 <= len(contigs[0].Seq); i += 4 {
+		reads = append(reads, seq.Read{ID: "c0", Seq: contigs[0].Seq[i : i+40]})
+	}
+	for i := 0; i+40 <= len(contigs[1].Seq); i += 4 {
+		reads = append(reads, seq.Read{ID: "c1", Seq: contigs[1].Seq[i : i+40]})
+	}
+	reads = append(reads, seq.Read{ID: "junk", Seq: []byte(strings.Repeat("ACAC", 12))})
+
+	var perRankCounts [4]map[string]int
+	m.Run(func(r *pgas.Rank) {
+		idx := BuildIndex(r, contigs, opts)
+		lo, hi := r.BlockRange(len(reads))
+		aligns, _ := AlignReads(r, idx, reads[lo:hi], lo, opts)
+		localized := LocalizeReads(r, reads[lo:hi], lo, aligns)
+		counts := map[string]int{}
+		for _, rd := range localized {
+			counts[rd.ID]++
+		}
+		perRankCounts[r.ID()] = counts
+	})
+	// All reads from contig 0 must land on rank 0 (0 mod 4) and all reads
+	// from contig 1 on rank 1.
+	totalC0, totalC1, totalJunk := 0, 0, 0
+	for rank, counts := range perRankCounts {
+		totalC0 += counts["c0"]
+		totalC1 += counts["c1"]
+		totalJunk += counts["junk"]
+		if rank != 0 && counts["c0"] > 0 {
+			t.Errorf("rank %d holds %d contig-0 reads after localization", rank, counts["c0"])
+		}
+		if rank != 1 && counts["c1"] > 0 {
+			t.Errorf("rank %d holds %d contig-1 reads after localization", rank, counts["c1"])
+		}
+	}
+	wantC0 := 0
+	for i := 0; i+40 <= len(contigs[0].Seq); i += 4 {
+		wantC0++
+	}
+	if totalC0 != wantC0 {
+		t.Errorf("lost contig-0 reads: %d vs %d", totalC0, wantC0)
+	}
+	if totalJunk != 1 {
+		t.Errorf("unaligned read lost or duplicated: %d", totalJunk)
+	}
+}

@@ -1,0 +1,152 @@
+// Package bloom implements the Bloom filters used by k-mer analysis to avoid
+// the memory-footprint explosion caused by erroneous singleton k-mers: a
+// k-mer is inserted into the counting hash table only after it has been seen
+// at least twice, which the filter detects probabilistically.
+//
+// A Distributed filter partitions the bit array by owner rank so that the
+// filter for a rank's k-mers lives with that rank (the same partitioning the
+// distributed histogram uses), keeping all filter probes local after the
+// k-mers have been routed to their owners.
+package bloom
+
+import (
+	"math"
+
+	"mhmgo/internal/pgas"
+)
+
+// Filter is a standard Bloom filter with double hashing.
+type Filter struct {
+	bits    []uint64
+	nbits   uint64
+	hashes  int
+	entries uint64
+}
+
+// NewWithEstimates creates a filter sized for n expected entries at the
+// given target false-positive rate.
+func NewWithEstimates(n uint64, fpRate float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fpRate) / (math.Ln2 * math.Ln2)))
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	return New(m, k)
+}
+
+// New creates a filter with nbits bits and the given number of hash
+// functions.
+func New(nbits uint64, hashes int) *Filter {
+	if nbits < 64 {
+		nbits = 64
+	}
+	if hashes < 1 {
+		hashes = 1
+	}
+	if hashes > 16 {
+		hashes = 16
+	}
+	return &Filter{
+		bits:   make([]uint64, (nbits+63)/64),
+		nbits:  nbits,
+		hashes: hashes,
+	}
+}
+
+// indices derives the probe positions from a single 64-bit hash using the
+// Kirsch–Mitzenmacher double-hashing construction.
+func (f *Filter) indices(h uint64) []uint64 {
+	h1 := h
+	h2 := h*0x9e3779b97f4a7c15 + 0x7f4a7c159e3779b9
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	idx := make([]uint64, f.hashes)
+	for i := 0; i < f.hashes; i++ {
+		idx[i] = (h1 + uint64(i)*h2) % f.nbits
+	}
+	return idx
+}
+
+// Add inserts a pre-hashed key.
+func (f *Filter) Add(h uint64) {
+	for _, i := range f.indices(h) {
+		f.bits[i/64] |= 1 << (i % 64)
+	}
+	f.entries++
+}
+
+// Test reports whether a pre-hashed key might be present. False positives
+// are possible; false negatives are not.
+func (f *Filter) Test(h uint64) bool {
+	for _, i := range f.indices(h) {
+		if f.bits[i/64]&(1<<(i%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAndAdd reports whether the key was (probably) present and inserts it.
+func (f *Filter) TestAndAdd(h uint64) bool {
+	present := true
+	for _, i := range f.indices(h) {
+		word, bit := i/64, uint64(1)<<(i%64)
+		if f.bits[word]&bit == 0 {
+			present = false
+			f.bits[word] |= bit
+		}
+	}
+	f.entries++
+	return present
+}
+
+// ApproxEntries returns the number of Add/TestAndAdd calls made so far.
+func (f *Filter) ApproxEntries() uint64 { return f.entries }
+
+// FalsePositiveRate estimates the current false-positive probability from
+// the fill ratio of the bit array.
+func (f *Filter) FalsePositiveRate() float64 {
+	ones := 0
+	for _, w := range f.bits {
+		ones += popcount(w)
+	}
+	fill := float64(ones) / float64(f.nbits)
+	return math.Pow(fill, float64(f.hashes))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Distributed is a per-rank-partitioned Bloom filter: rank i owns an
+// independent filter for the keys that hash to it. Probes must be performed
+// by the owning rank (after routing), so they are purely local.
+type Distributed struct {
+	filters []*Filter
+}
+
+// NewDistributed creates one filter per rank, each sized for expectedPerRank
+// entries.
+func NewDistributed(m *pgas.Machine, expectedPerRank uint64, fpRate float64) *Distributed {
+	d := &Distributed{filters: make([]*Filter, m.Ranks())}
+	for i := range d.filters {
+		d.filters[i] = NewWithEstimates(expectedPerRank, fpRate)
+	}
+	return d
+}
+
+// Local returns the filter owned by the calling rank.
+func (d *Distributed) Local(r *pgas.Rank) *Filter { return d.filters[r.ID()] }
+
+// LocalByID returns the filter owned by the given rank (for tests and
+// post-run inspection).
+func (d *Distributed) LocalByID(rank int) *Filter { return d.filters[rank] }

@@ -1,0 +1,122 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+
+	"mhmgo/internal/pgas"
+)
+
+func TestFilterNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(10000, 0.01)
+	r := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 5000)
+	for i := range keys {
+		keys[i] = r.Uint64()
+		f.Add(keys[i])
+	}
+	for i, k := range keys {
+		if !f.Test(k) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+	if f.ApproxEntries() != 5000 {
+		t.Errorf("ApproxEntries = %d, want 5000", f.ApproxEntries())
+	}
+}
+
+func TestFilterFalsePositiveRate(t *testing.T) {
+	f := NewWithEstimates(10000, 0.01)
+	r := rand.New(rand.NewSource(2))
+	inserted := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		k := r.Uint64()
+		inserted[k] = true
+		f.Add(k)
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		k := r.Uint64()
+		if inserted[k] {
+			continue
+		}
+		if f.Test(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("observed false positive rate %v, expected around 0.01", rate)
+	}
+	if est := f.FalsePositiveRate(); est > 0.05 {
+		t.Errorf("estimated false positive rate %v too high", est)
+	}
+}
+
+func TestTestAndAdd(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	if f.TestAndAdd(42) {
+		t.Error("first TestAndAdd should report absent")
+	}
+	if !f.TestAndAdd(42) {
+		t.Error("second TestAndAdd should report present")
+	}
+	if !f.Test(42) {
+		t.Error("Test after TestAndAdd should report present")
+	}
+}
+
+func TestNewClampsParameters(t *testing.T) {
+	f := New(1, 0)
+	if f.nbits < 64 || f.hashes < 1 {
+		t.Errorf("parameters not clamped: %d bits, %d hashes", f.nbits, f.hashes)
+	}
+	f = New(1024, 100)
+	if f.hashes > 16 {
+		t.Errorf("hash count not clamped: %d", f.hashes)
+	}
+	f = NewWithEstimates(0, -1)
+	f.Add(7)
+	if !f.Test(7) {
+		t.Error("degenerate filter should still work")
+	}
+}
+
+func TestDistributed(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	d := NewDistributed(m, 1000, 0.01)
+	m.Run(func(r *pgas.Rank) {
+		f := d.Local(r)
+		key := uint64(r.ID()*1000 + 7)
+		if f.TestAndAdd(key) {
+			t.Errorf("rank %d: fresh key reported present", r.ID())
+		}
+		if !f.Test(key) {
+			t.Errorf("rank %d: key lost", r.ID())
+		}
+	})
+	// Filters are independent per rank.
+	if d.LocalByID(0).Test(1007) && d.LocalByID(0).Test(2007) && d.LocalByID(0).Test(3007) {
+		t.Error("rank 0 filter appears to contain other ranks' keys (suspicious)")
+	}
+}
+
+func BenchmarkFilterAdd(b *testing.B) {
+	f := NewWithEstimates(uint64(b.N)+1, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkFilterTest(b *testing.B) {
+	f := NewWithEstimates(100000, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Test(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

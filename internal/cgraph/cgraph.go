@@ -1,0 +1,424 @@
+// Package cgraph implements the contig-graph refinement stages of iterative
+// contig generation (Sections II-D and II-E of the paper): bubble merging,
+// hair (dead-end tip) removal, iterative depth-based graph pruning
+// (Algorithm 2), and compaction of unambiguous contig chains using a
+// speculative traversal guarded by atomic "used" flags.
+//
+// The bubble-contig graph is orders of magnitude smaller than the k-mer de
+// Bruijn graph: its vertices are whole contigs and its edges are shared
+// junction (k-1)-mers. The junction index is built in a distributed hash
+// table with the aggregated update-only phase, and the per-contig
+// neighbourhood queries use one-sided reads.
+package cgraph
+
+import (
+	"sort"
+
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/dht"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// Options controls contig-graph refinement.
+type Options struct {
+	// K is the k-mer length the contigs were assembled with.
+	K int
+	// RemoveHair enables removal of dead-end tips shorter than HairMaxLen
+	// (default 2k).
+	RemoveHair bool
+	HairMaxLen int
+	// MergeBubbles enables merging of equal-length bubble arms (keeping the
+	// deeper arm). BubbleLenTolerance is the allowed relative length
+	// difference between the two arms of a bubble (0 = identical lengths).
+	MergeBubbles       bool
+	BubbleLenTolerance float64
+	// Prune enables Algorithm 2 (iterative depth-based pruning) with the
+	// geometric threshold growth factor Alpha and the relative-depth factor
+	// Beta.
+	Prune          bool
+	PruneAlpha     float64
+	PruneBeta      float64
+	MaxPruneRounds int
+	// Compact merges chains of contigs connected by unambiguous junctions.
+	Compact bool
+	// Aggregate controls DHT update aggregation (for ablations).
+	Aggregate bool
+}
+
+// DefaultOptions returns the refinement configuration used by the pipeline.
+func DefaultOptions(k int) Options {
+	return Options{
+		K:                  k,
+		RemoveHair:         true,
+		HairMaxLen:         2 * k,
+		MergeBubbles:       true,
+		BubbleLenTolerance: 0.02,
+		Prune:              true,
+		PruneAlpha:         0.2,
+		PruneBeta:          0.5,
+		MaxPruneRounds:     20,
+		Compact:            true,
+		Aggregate:          true,
+	}
+}
+
+// Result reports what refinement did.
+type Result struct {
+	Contigs       []dbg.Contig
+	HairRemoved   int
+	BubblesMerged int
+	Pruned        int
+	PruneRounds   int
+	Compacted     int
+}
+
+// endRef records that a contig endpoint touches a junction.
+type endRef struct {
+	ContigID int
+	// End is 'L' if the junction is the contig's (k-1)-prefix, 'R' if it is
+	// the (k-1)-suffix, in the contig's stored orientation.
+	End byte
+}
+
+// junctionKey returns the canonical (k-1)-mer key of a contig endpoint, or
+// ok=false for contigs shorter than k-1.
+func junctionKey(c dbg.Contig, k int, end byte) (seq.Kmer, bool) {
+	j := k - 1
+	if len(c.Seq) < j {
+		return seq.Kmer{}, false
+	}
+	var s []byte
+	if end == 'L' {
+		s = c.Seq[:j]
+	} else {
+		s = c.Seq[len(c.Seq)-j:]
+	}
+	km, err := seq.KmerFromBytes(s, j)
+	if err != nil {
+		return seq.Kmer{}, false
+	}
+	canon, _ := km.Canonical()
+	return canon, true
+}
+
+func kmerHash(k seq.Kmer) uint64 { return k.Hash() }
+
+// graph is the in-memory view each rank builds of the bubble-contig graph.
+type graph struct {
+	k        int
+	contigs  []dbg.Contig
+	alive    []bool
+	junction *dht.Map[seq.Kmer, []endRef]
+}
+
+// buildJunctionIndex stores every contig endpoint in the distributed
+// junction index (Global Update-Only phase with aggregation).
+func buildJunctionIndex(r *pgas.Rank, contigs []dbg.Contig, k int, aggregate bool) *dht.Map[seq.Kmer, []endRef] {
+	idx := dht.NewMapCollective[seq.Kmer, []endRef](r, kmerHash, 32)
+	combine := func(existing, update []endRef, found bool) []endRef {
+		return append(existing, update...)
+	}
+	u := idx.NewUpdater(r, combine, 256, aggregate)
+	lo, hi := r.BlockRange(len(contigs))
+	for i := lo; i < hi; i++ {
+		c := contigs[i]
+		for _, end := range []byte{'L', 'R'} {
+			if key, ok := junctionKey(c, k, end); ok {
+				u.Update(key, []endRef{{ContigID: c.ID, End: end}})
+			}
+		}
+		r.Compute(2)
+	}
+	u.Flush()
+	r.Barrier()
+	return idx
+}
+
+// neighborsOf returns the other contig IDs attached to the two junctions of
+// contig c, split by which of c's ends they touch.
+func (g *graph) neighborsOf(r *pgas.Rank, reader *dht.CachedReader[seq.Kmer, []endRef], c dbg.Contig) (left, right []endRef) {
+	collect := func(end byte) []endRef {
+		key, ok := junctionKey(c, g.k, end)
+		if !ok {
+			return nil
+		}
+		refs, _ := reader.Get(key)
+		var out []endRef
+		for _, ref := range refs {
+			if ref.ContigID == c.ID {
+				continue
+			}
+			if ref.ContigID < len(g.alive) && !g.alive[ref.ContigID] {
+				continue
+			}
+			out = append(out, ref)
+		}
+		return out
+	}
+	return collect('L'), collect('R')
+}
+
+// meanNeighborDepth returns the mean depth over a set of neighbour refs.
+func (g *graph) meanNeighborDepth(refs []endRef) float64 {
+	if len(refs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ref := range refs {
+		sum += g.contigs[ref.ContigID].Depth
+	}
+	return sum / float64(len(refs))
+}
+
+// Refine runs the configured refinement passes over the (globally
+// replicated) contig set. Collective: every rank must call it with the same
+// contig slice; every rank returns the same Result.
+func Refine(r *pgas.Rank, contigs []dbg.Contig, opts Options) Result {
+	if opts.HairMaxLen <= 0 {
+		opts.HairMaxLen = 2 * opts.K
+	}
+	if opts.PruneAlpha <= 0 {
+		opts.PruneAlpha = 0.2
+	}
+	if opts.PruneBeta <= 0 {
+		opts.PruneBeta = 0.5
+	}
+	if opts.MaxPruneRounds <= 0 {
+		opts.MaxPruneRounds = 20
+	}
+
+	g := &graph{k: opts.K, contigs: contigs, alive: make([]bool, maxID(contigs)+1)}
+	for _, c := range contigs {
+		g.alive[c.ID] = true
+	}
+	g.junction = buildJunctionIndex(r, contigs, opts.K, opts.Aggregate)
+
+	var res Result
+
+	if opts.MergeBubbles {
+		res.BubblesMerged = g.mergeBubbles(r, opts)
+	}
+	if opts.RemoveHair {
+		res.HairRemoved = g.removeHair(r, opts)
+	}
+	if opts.Prune {
+		res.Pruned, res.PruneRounds = g.prune(r, opts)
+	}
+
+	survivors := make([]dbg.Contig, 0, len(contigs))
+	for _, c := range contigs {
+		if g.alive[c.ID] {
+			survivors = append(survivors, c)
+		}
+	}
+	if opts.Compact {
+		compacted, merged := g.compact(r, survivors, opts)
+		res.Compacted = merged
+		survivors = compacted
+	}
+	// Re-assign dense IDs sorted by length for determinism downstream.
+	sort.Slice(survivors, func(i, j int) bool {
+		if len(survivors[i].Seq) != len(survivors[j].Seq) {
+			return len(survivors[i].Seq) > len(survivors[j].Seq)
+		}
+		return string(survivors[i].Seq) < string(survivors[j].Seq)
+	})
+	for i := range survivors {
+		survivors[i].ID = i
+	}
+	res.Contigs = survivors
+	r.Barrier()
+	return res
+}
+
+func maxID(contigs []dbg.Contig) int {
+	m := 0
+	for _, c := range contigs {
+		if c.ID > m {
+			m = c.ID
+		}
+	}
+	return m
+}
+
+// broadcastRemovals merges per-rank removal lists and applies them to the
+// alive mask on every rank, returning the global number of removals.
+func (g *graph) broadcastRemovals(r *pgas.Rank, local []int) int {
+	all := pgas.Gather(r, local)
+	n := 0
+	for _, ids := range all {
+		for _, id := range ids {
+			if g.alive[id] {
+				g.alive[id] = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// mergeBubbles finds pairs of alive contigs that share both junctions and
+// have nearly equal lengths (SNP bubbles) and removes the shallower arm.
+func (g *graph) mergeBubbles(r *pgas.Rank, opts Options) int {
+	reader := g.junction.NewCachedReader(r, 1<<16, true)
+	var removals []int
+	lo, hi := r.BlockRange(len(g.contigs))
+	for i := lo; i < hi; i++ {
+		c := g.contigs[i]
+		if !g.alive[c.ID] {
+			continue
+		}
+		keyL, okL := junctionKey(c, g.k, 'L')
+		keyR, okR := junctionKey(c, g.k, 'R')
+		if !okL || !okR {
+			continue
+		}
+		refsL, _ := reader.Get(keyL)
+		refsR, _ := reader.Get(keyR)
+		// Candidate bubble partners touch both of c's junctions.
+		onRight := make(map[int]bool)
+		for _, ref := range refsR {
+			onRight[ref.ContigID] = true
+		}
+		for _, ref := range refsL {
+			other := ref.ContigID
+			if other == c.ID || !onRight[other] || other >= len(g.alive) || !g.alive[other] {
+				continue
+			}
+			oc := g.contigs[findByID(g.contigs, other)]
+			if !similarLength(len(c.Seq), len(oc.Seq), opts.BubbleLenTolerance) {
+				continue
+			}
+			// Remove the shallower arm; break ties by ID so exactly one of
+			// the pair is removed regardless of which rank sees it.
+			loser := c.ID
+			if c.Depth > oc.Depth || (c.Depth == oc.Depth && c.ID < other) {
+				loser = other
+			}
+			removals = append(removals, loser)
+		}
+		r.Compute(float64(len(refsL) + len(refsR)))
+	}
+	r.Barrier()
+	return g.broadcastRemovals(r, removals)
+}
+
+func similarLength(a, b int, tol float64) bool {
+	if a == b {
+		return true
+	}
+	big, small := a, b
+	if small > big {
+		big, small = small, big
+	}
+	return float64(big-small) <= tol*float64(big)
+}
+
+func findByID(contigs []dbg.Contig, id int) int {
+	// Contig IDs are dense and usually equal to the index, but search
+	// defensively in case callers pass a filtered slice.
+	if id < len(contigs) && contigs[id].ID == id {
+		return id
+	}
+	for i := range contigs {
+		if contigs[i].ID == id {
+			return i
+		}
+	}
+	return 0
+}
+
+// removeHair removes dead-end tips: contigs shorter than HairMaxLen that are
+// attached to the rest of the graph at exactly one end and dangle freely at
+// the other, where the attachment point has an alternative continuation.
+func (g *graph) removeHair(r *pgas.Rank, opts Options) int {
+	reader := g.junction.NewCachedReader(r, 1<<16, true)
+	var removals []int
+	lo, hi := r.BlockRange(len(g.contigs))
+	for i := lo; i < hi; i++ {
+		c := g.contigs[i]
+		if !g.alive[c.ID] || len(c.Seq) >= opts.HairMaxLen {
+			continue
+		}
+		left, right := g.neighborsOf(r, reader, c)
+		attachedEnds := 0
+		var attachedRefs []endRef
+		if len(left) > 0 {
+			attachedEnds++
+			attachedRefs = left
+		}
+		if len(right) > 0 {
+			attachedEnds++
+			attachedRefs = right
+		}
+		if attachedEnds != 1 {
+			continue
+		}
+		// The tip must be the minority continuation: some sibling at the
+		// attachment junction is deeper than the tip.
+		deeperSibling := false
+		for _, ref := range attachedRefs {
+			if g.contigs[findByID(g.contigs, ref.ContigID)].Depth > c.Depth {
+				deeperSibling = true
+				break
+			}
+		}
+		if deeperSibling {
+			removals = append(removals, c.ID)
+		}
+	}
+	r.Barrier()
+	return g.broadcastRemovals(r, removals)
+}
+
+// prune implements Algorithm 2: iteratively remove short contigs whose depth
+// is at most min(tau, beta * neighbour depth), growing tau geometrically
+// until a round removes nothing on any rank.
+func (g *graph) prune(r *pgas.Rank, opts Options) (removedTotal, rounds int) {
+	reader := g.junction.NewCachedReader(r, 1<<16, true)
+	maxDepth := 0.0
+	for _, c := range g.contigs {
+		if c.Depth > maxDepth {
+			maxDepth = c.Depth
+		}
+	}
+	maxDepth = r.AllReduceFloat64(maxDepth, pgas.ReduceMax)
+	tau := 1.0
+	for round := 0; round < opts.MaxPruneRounds && tau < maxDepth; round++ {
+		var removals []int
+		lo, hi := r.BlockRange(len(g.contigs))
+		for i := lo; i < hi; i++ {
+			c := g.contigs[i]
+			if !g.alive[c.ID] || len(c.Seq) > 2*opts.K {
+				continue
+			}
+			left, right := g.neighborsOf(r, reader, c)
+			neighborDepth := g.meanNeighborDepth(append(append([]endRef(nil), left...), right...))
+			if neighborDepth == 0 {
+				continue
+			}
+			limit := tau
+			if b := opts.PruneBeta * neighborDepth; b < limit {
+				limit = b
+			}
+			if c.Depth <= limit {
+				removals = append(removals, c.ID)
+			}
+		}
+		r.Barrier()
+		removed := g.broadcastRemovals(r, removals)
+		removedTotal += removed
+		rounds++
+		prunedFlag := 0.0
+		if removed > 0 {
+			prunedFlag = 1
+		}
+		// Convergence detection: all-reduce the pruned flag with max.
+		if r.AllReduceFloat64(prunedFlag, pgas.ReduceMax) == 0 {
+			break
+		}
+		tau *= 1 + opts.PruneAlpha
+	}
+	return removedTotal, rounds
+}

@@ -1,0 +1,181 @@
+package cgraph
+
+import (
+	"sort"
+
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// oriented identifies a contig together with the orientation it is being
+// read in during a chain walk.
+type orientedContig struct {
+	idx     int
+	flipped bool
+}
+
+// orientedSeq returns the contig sequence in walk orientation.
+func orientedSeq(c dbg.Contig, flipped bool) []byte {
+	if !flipped {
+		return c.Seq
+	}
+	return seq.ReverseComplement(c.Seq)
+}
+
+// compact merges chains of surviving contigs that are connected through
+// junctions touched by exactly two contig ends (i.e. the connection is
+// unambiguous after bubble merging, hair removal and pruning). The walk over
+// the bubble-contig graph mirrors the paper's traversal of the contracted
+// contig graph; each chain is emitted exactly once, in canonical
+// orientation, by the rank owning its starting contig.
+func (g *graph) compact(r *pgas.Rank, survivors []dbg.Contig, opts Options) ([]dbg.Contig, int) {
+	j := opts.K - 1
+	if j < 1 || len(survivors) == 0 {
+		return survivors, 0
+	}
+
+	// Index junctions over the survivors only. The contig graph is small, so
+	// every rank builds the same index; the distributed junction index built
+	// earlier already paid the communication cost of assembling it.
+	type ref struct {
+		idx int
+		end byte
+	}
+	index := make(map[seq.Kmer][]ref)
+	for i, c := range survivors {
+		for _, end := range []byte{'L', 'R'} {
+			if key, ok := junctionKey(c, opts.K, end); ok {
+				index[key] = append(index[key], ref{idx: i, end: end})
+			}
+		}
+	}
+	r.Compute(float64(2 * len(survivors)))
+
+	// simplePartner returns the unique other contig end attached to the
+	// oriented contig's outgoing junction, or ok=false if the junction is
+	// ambiguous or a dead end.
+	simplePartner := func(o orientedContig) (orientedContig, bool) {
+		c := survivors[o.idx]
+		end := byte('R')
+		if o.flipped {
+			end = 'L'
+		}
+		key, ok := junctionKey(c, opts.K, end)
+		if !ok {
+			return orientedContig{}, false
+		}
+		refs := index[key]
+		if len(refs) != 2 {
+			return orientedContig{}, false
+		}
+		var other ref
+		found := false
+		for _, rf := range refs {
+			if rf.idx != o.idx {
+				other = rf
+				found = true
+			}
+		}
+		if !found {
+			// Both ends belong to the same contig (a self-loop); stop.
+			return orientedContig{}, false
+		}
+		// Orient the partner so that its (k-1)-prefix matches our suffix.
+		suffix := orientedSeq(c, o.flipped)
+		suffix = suffix[len(suffix)-j:]
+		oc := survivors[other.idx]
+		for _, flipped := range []bool{false, true} {
+			s := orientedSeq(oc, flipped)
+			if len(s) >= j && string(s[:j]) == string(suffix) {
+				return orientedContig{idx: other.idx, flipped: flipped}, true
+			}
+		}
+		return orientedContig{}, false
+	}
+
+	// isChainStart reports whether no unambiguous predecessor exists for the
+	// oriented contig (walking would not arrive here from a simple junction).
+	isChainStart := func(o orientedContig) bool {
+		rev := orientedContig{idx: o.idx, flipped: !o.flipped}
+		back, ok := simplePartner(rev)
+		if !ok {
+			return true
+		}
+		// The predecessor must also agree that we are its unique successor;
+		// simplePartner is symmetric by construction, so a valid partner
+		// means this is not a start.
+		_ = back
+		return false
+	}
+
+	lo, hi := r.BlockRange(len(survivors))
+	var localOut []dbg.Contig
+	mergedCount := 0
+	for i := lo; i < hi; i++ {
+		for _, flipped := range []bool{false, true} {
+			start := orientedContig{idx: i, flipped: flipped}
+			if !isChainStart(start) {
+				continue
+			}
+			// Walk the chain.
+			cur := start
+			merged := append([]byte(nil), orientedSeq(survivors[cur.idx], cur.flipped)...)
+			depthWeight := survivors[cur.idx].Depth * float64(len(survivors[cur.idx].Seq))
+			totalLen := len(survivors[cur.idx].Seq)
+			visited := map[int]bool{cur.idx: true}
+			links := 0
+			for {
+				next, ok := simplePartner(cur)
+				if !ok || visited[next.idx] {
+					break
+				}
+				ns := orientedSeq(survivors[next.idx], next.flipped)
+				merged = append(merged, ns[j:]...)
+				depthWeight += survivors[next.idx].Depth * float64(len(survivors[next.idx].Seq))
+				totalLen += len(survivors[next.idx].Seq)
+				visited[next.idx] = true
+				links++
+				cur = next
+				r.Compute(1)
+			}
+			// Emit each chain once, in canonical orientation.
+			rc := seq.ReverseComplement(merged)
+			if string(merged) > string(rc) {
+				continue
+			}
+			localOut = append(localOut, dbg.Contig{
+				Seq:   merged,
+				Depth: depthWeight / float64(totalLen),
+			})
+			mergedCount += links
+		}
+	}
+	r.Barrier()
+
+	// Gather the compacted contigs from all ranks and deduplicate (the same
+	// palindromic chain may be emitted from both ends).
+	all := pgas.Gather(r, localOut)
+	var out []dbg.Contig
+	for _, cs := range all {
+		out = append(out, cs...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Seq) != len(out[b].Seq) {
+			return len(out[a].Seq) > len(out[b].Seq)
+		}
+		return string(out[a].Seq) < string(out[b].Seq)
+	})
+	dedup := out[:0]
+	var prev string
+	for i, c := range out {
+		s := string(c.Seq)
+		if i > 0 && s == prev {
+			continue
+		}
+		prev = s
+		dedup = append(dedup, c)
+	}
+	totalMerged := int(r.AllReduceInt64(int64(mergedCount), pgas.ReduceSum))
+	return dedup, totalMerged
+}

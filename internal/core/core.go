@@ -1,0 +1,462 @@
+// Package core implements the end-to-end MetaHipMer pipeline (Algorithm 1 +
+// Algorithm 3 of the paper): iterative contig generation over a range of
+// k-mer sizes followed by metagenome-aware scaffolding, executed SPMD-style
+// on a virtual PGAS machine.
+package core
+
+import (
+	"fmt"
+
+	"mhmgo/internal/aligner"
+	"mhmgo/internal/cgraph"
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/hmm"
+	"mhmgo/internal/kmeranalysis"
+	"mhmgo/internal/localasm"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/scaffold"
+	"mhmgo/internal/seq"
+)
+
+// Stage name constants used in timing breakdowns (Figure 5).
+const (
+	StageKmerAnalysis  = "kmer_analysis"
+	StageKmerMerge     = "kmer_merge"
+	StageDBGTraversal  = "dbg_traversal"
+	StageContigRefine  = "contig_refine"
+	StageAlignment     = "alignment"
+	StageLocalAssembly = "local_assembly"
+	StageScaffolding   = "scaffolding"
+)
+
+// Config controls a MetaHipMer assembly.
+type Config struct {
+	// Machine shape.
+	Ranks        int
+	RanksPerNode int
+	Cost         pgas.CostModel
+
+	// Iterative contig generation: k runs from KMin to KMax in steps of
+	// KStep (Algorithm 1).
+	KMin, KMax, KStep int
+
+	// K-mer analysis parameters.
+	MinKmerCount uint32
+	UseBloom     bool
+
+	// De Bruijn graph extension thresholds: the metagenome depth-dependent
+	// rule uses TBase and ErrorRate; setting GlobalTHQ > 0 switches to the
+	// HipMer single-genome rule (used by the baseline and the ablation).
+	TBase     uint32
+	ErrorRate float64
+	GlobalTHQ uint32
+
+	// Library geometry (used by local assembly and scaffolding).
+	InsertSize int
+	InsertStd  int
+
+	// Optimization toggles (each is an ablation axis).
+	Aggregate        bool
+	SoftwareCache    bool
+	ReadLocalization bool
+	WorkStealing     bool
+	UseComponents    bool
+
+	// Pipeline stage toggles.
+	BubbleMerging bool
+	HairRemoval   bool
+	Pruning       bool
+	Compaction    bool
+	LocalAssembly bool
+	Scaffolding   bool
+
+	// RRNAProfile enables the ribosomal-region scaffolding rule and rRNA
+	// counting.
+	RRNAProfile *hmm.Profile
+
+	// MinContigLen drops contigs shorter than this from the final output.
+	MinContigLen int
+}
+
+// DefaultConfig returns the standard MetaHipMer configuration for the given
+// machine shape.
+func DefaultConfig(ranks int) Config {
+	return Config{
+		Ranks:            ranks,
+		RanksPerNode:     4,
+		KMin:             21,
+		KMax:             33,
+		KStep:            12,
+		MinKmerCount:     2,
+		UseBloom:         true,
+		TBase:            2,
+		ErrorRate:        0.015,
+		InsertSize:       280,
+		InsertStd:        25,
+		Aggregate:        true,
+		SoftwareCache:    true,
+		ReadLocalization: true,
+		WorkStealing:     true,
+		UseComponents:    true,
+		BubbleMerging:    true,
+		HairRemoval:      true,
+		Pruning:          true,
+		Compaction:       true,
+		LocalAssembly:    true,
+		Scaffolding:      true,
+		MinContigLen:     0,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 4
+	}
+	if c.RanksPerNode <= 0 {
+		c.RanksPerNode = c.Ranks
+	}
+	if c.KMin <= 0 {
+		c.KMin = 21
+	}
+	if c.KMax < c.KMin {
+		c.KMax = c.KMin
+	}
+	if c.KStep <= 0 {
+		c.KStep = 12
+	}
+	if c.MinKmerCount == 0 {
+		c.MinKmerCount = 2
+	}
+	if c.ErrorRate <= 0 {
+		c.ErrorRate = 0.015
+	}
+	if c.TBase == 0 {
+		c.TBase = 2
+	}
+	if c.InsertSize <= 0 {
+		c.InsertSize = 280
+	}
+	if c.InsertStd <= 0 {
+		c.InsertStd = c.InsertSize / 10
+	}
+	return c
+}
+
+// KValues returns the k values of the iterative contig generation.
+func (c Config) KValues() []int {
+	c = c.withDefaults()
+	var ks []int
+	for k := c.KMin; k <= c.KMax; k += c.KStep {
+		if k%2 == 0 {
+			k++
+		}
+		if len(ks) > 0 && ks[len(ks)-1] >= k {
+			continue
+		}
+		if k > seq.MaxK {
+			break
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Result is the outcome of an assembly.
+type Result struct {
+	// Contigs are the final contigs of iterative contig generation.
+	Contigs []dbg.Contig
+	// Scaffolds are the final gap-closed scaffolds (empty when scaffolding
+	// is disabled).
+	Scaffolds []scaffold.Scaffold
+	// SimSeconds is the simulated parallel runtime; WallSeconds is the real
+	// elapsed time of the (single-process) execution.
+	SimSeconds  float64
+	WallSeconds float64
+	// Stages is the simulated time per pipeline stage (summed over
+	// iterations).
+	Stages []pgas.StageTime
+	// Stats aggregates communication statistics over all ranks.
+	Stats pgas.CommStats
+	// Per-stage substatistics.
+	TotalReads       int
+	DistinctKmers    int
+	HeavyHitterMax   int64
+	AlignedReadFrac  float64
+	LocalAsmBases    int
+	ScaffoldSummary  scaffold.Result
+	ContigStats      dbg.Stats
+	ScaffoldStats    scaffold.Stats
+	CacheHitRate     float64
+	ReadsLocalizedTo int
+}
+
+// FinalSequences returns the assembly output: scaffold sequences when
+// scaffolding ran, contig sequences otherwise.
+func (r *Result) FinalSequences() [][]byte {
+	if len(r.Scaffolds) > 0 {
+		out := make([][]byte, len(r.Scaffolds))
+		for i, s := range r.Scaffolds {
+			out[i] = s.Seq
+		}
+		return out
+	}
+	out := make([][]byte, len(r.Contigs))
+	for i, c := range r.Contigs {
+		out[i] = c.Seq
+	}
+	return out
+}
+
+// Assemble runs the full MetaHipMer pipeline over the reads. Reads must be
+// interleaved paired-end (mates at indices 2i and 2i+1); single-end data
+// still assembles but produces no span links.
+func Assemble(reads []seq.Read, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	ks := cfg.KValues()
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("core: no valid k values in [%d,%d]", cfg.KMin, cfg.KMax)
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("core: no reads to assemble")
+	}
+
+	machine := pgas.NewMachine(pgas.Config{Ranks: cfg.Ranks, RanksPerNode: cfg.RanksPerNode, Cost: cfg.Cost})
+	res := &Result{TotalReads: len(reads)}
+
+	perRank := make([]rankOutput, cfg.Ranks)
+	runRes := machine.Run(func(r *pgas.Rank) {
+		perRank[r.ID()] = runPipeline(r, reads, cfg, ks)
+	})
+
+	res.SimSeconds = runRes.SimSeconds
+	res.WallSeconds = runRes.Wall.Seconds()
+	res.Stages = runRes.Stages
+	res.Stats = runRes.Stats
+
+	// Merge the per-rank outputs recorded by rank 0 (identical on all ranks
+	// for the replicated fields).
+	out := perRank[0]
+	res.Contigs = out.contigs
+	res.Scaffolds = out.scaffolds
+	res.ScaffoldSummary = out.scaffoldResult
+	res.DistinctKmers = out.distinctKmers
+	res.HeavyHitterMax = out.heavyHitterMax
+	res.AlignedReadFrac = out.alignedFrac
+	res.LocalAsmBases = out.localAsmBases
+	res.CacheHitRate = out.cacheHitRate
+	res.ContigStats = dbg.ComputeStats(res.Contigs)
+	res.ScaffoldStats = scaffold.ComputeStats(res.Scaffolds)
+	return res, nil
+}
+
+// rankOutput carries the results each rank computed out of the SPMD region.
+type rankOutput struct {
+	contigs        []dbg.Contig
+	scaffolds      []scaffold.Scaffold
+	scaffoldResult scaffold.Result
+	distinctKmers  int
+	heavyHitterMax int64
+	alignedFrac    float64
+	localAsmBases  int
+	cacheHitRate   float64
+}
+
+// runPipeline is the SPMD body executed by every rank.
+func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOutput {
+	var out rankOutput
+
+	// Initial block distribution of the reads, in whole pairs.
+	lo, hi := r.PairBlockRange(len(allReads))
+	myReads := allReads[lo:hi]
+	readOffset := lo
+
+	var contigs []dbg.Contig
+	var lastAligns []aligner.Alignment
+
+	for it, k := range ks {
+		// Stage 1: k-mer analysis.
+		st := r.StageStart()
+		kopts := kmeranalysis.DefaultOptions(k)
+		kopts.MinCount = cfg.MinKmerCount
+		kopts.UseBloom = cfg.UseBloom
+		kopts.Aggregate = cfg.Aggregate
+		kares := kmeranalysis.Run(r, myReads, kopts, nil)
+		out.distinctKmers = kares.DistinctKmers
+		if len(kares.HeavyHitters) > 0 && kares.HeavyHitters[0].Count > out.heavyHitterMax {
+			out.heavyHitterMax = kares.HeavyHitters[0].Count
+		}
+		r.StageEnd(StageKmerAnalysis, st)
+
+		// Stage 1b: merge the previous iteration's contig k-mers (Section
+		// II-H) so low-coverage organisms keep their assembled regions.
+		if it > 0 && len(contigs) > 0 {
+			st = r.StageStart()
+			cLo, cHi := r.BlockRange(len(contigs))
+			var seqs [][]byte
+			for _, c := range contigs[cLo:cHi] {
+				seqs = append(seqs, c.Seq)
+			}
+			kmeranalysis.MergeContigKmers(r, kares.Counts, seqs, k, cfg.MinKmerCount+1)
+			r.StageEnd(StageKmerMerge, st)
+		}
+
+		// Stage 2: de Bruijn graph construction and traversal.
+		st = r.StageStart()
+		topts := dbg.ThresholdOptions{TBase: cfg.TBase, ErrorRate: cfg.ErrorRate, GlobalTHQ: cfg.GlobalTHQ, MinCount: 1}
+		graph := dbg.Build(r, kares.Counts, k, topts)
+		local := dbg.Traverse(r, graph, dbg.TraverseOptions{})
+		contigs = dbg.GatherContigs(r, local)
+		r.StageEnd(StageDBGTraversal, st)
+
+		// Stages 3-4: bubble merging, hair removal, iterative pruning,
+		// chain compaction.
+		st = r.StageStart()
+		copts := cgraph.DefaultOptions(k)
+		copts.MergeBubbles = cfg.BubbleMerging
+		copts.RemoveHair = cfg.HairRemoval
+		copts.Prune = cfg.Pruning
+		copts.Compact = cfg.Compaction
+		copts.Aggregate = cfg.Aggregate
+		refined := cgraph.Refine(r, contigs, copts)
+		contigs = refined.Contigs
+		r.StageEnd(StageContigRefine, st)
+
+		// Stage 5: read-to-contig alignment.
+		st = r.StageStart()
+		aopts := aligner.DefaultOptions(minInt(k, 31))
+		aopts.UseCache = cfg.SoftwareCache
+		idx := aligner.BuildIndex(r, contigs, aopts)
+		aligns, astats := aligner.AlignReads(r, idx, myReads, readOffset, aopts)
+		lastAligns = aligns
+		alignedLocal := int64(astats.ReadsAligned)
+		totalLocal := int64(astats.ReadsTotal)
+		alignedAll := r.AllReduceInt64(alignedLocal, pgas.ReduceSum)
+		totalAll := r.AllReduceInt64(totalLocal, pgas.ReduceSum)
+		if totalAll > 0 {
+			out.alignedFrac = float64(alignedAll) / float64(totalAll)
+		}
+		out.cacheHitRate = astats.CacheHitRate
+		r.StageEnd(StageAlignment, st)
+
+		// Stage 6: local assembly (mer-walking with work stealing).
+		if cfg.LocalAssembly {
+			st = r.StageStart()
+			lopts := localasm.DefaultOptions(k)
+			lopts.WorkStealing = cfg.WorkStealing
+			lres := localasm.Run(r, contigs, myReads, readOffset, aligns, lopts)
+			contigs = lres.Contigs
+			out.localAsmBases = lres.ExtendedBases
+			r.StageEnd(StageLocalAssembly, st)
+		}
+
+		// Read localization (Section II-I): after the first iteration the
+		// reads are redistributed so reads aligned to the same contig live
+		// on the same rank.
+		if cfg.ReadLocalization && it < len(ks)-1 {
+			myReads, readOffset = localizePairs(r, myReads, readOffset, lastAligns)
+			lastAligns = nil
+		}
+	}
+
+	out.contigs = filterContigs(contigs, cfg.MinContigLen)
+
+	// Scaffolding (Algorithm 3).
+	if cfg.Scaffolding {
+		st := r.StageStart()
+		finalK := ks[len(ks)-1]
+		aopts := aligner.DefaultOptions(minInt(finalK, 31))
+		aopts.UseCache = cfg.SoftwareCache
+		idx := aligner.BuildIndex(r, out.contigs, aopts)
+		aligns, _ := aligner.AlignReads(r, idx, myReads, readOffset, aopts)
+		sopts := scaffold.DefaultOptions(finalK, cfg.InsertSize)
+		sopts.Aggregate = cfg.Aggregate
+		sopts.UseComponents = cfg.UseComponents
+		sopts.RRNAProfile = cfg.RRNAProfile
+		sres := scaffold.Run(r, out.contigs, myReads, readOffset, aligns, sopts)
+		out.scaffolds = sres.Scaffolds
+		out.scaffoldResult = sres
+		r.StageEnd(StageScaffolding, st)
+	}
+	return out
+}
+
+// localizePairs redistributes read pairs so that pairs aligned to contig c
+// land on rank (c mod P). It returns the rank's new reads and its new global
+// read offset (pairs stay intact, so mate indices remain 2i / 2i+1).
+func localizePairs(r *pgas.Rank, reads []seq.Read, readOffset int, aligns []aligner.Alignment) ([]seq.Read, int) {
+	p := r.NRanks()
+	// Destination per local pair, defaulting to the current rank.
+	nPairs := len(reads) / 2
+	dest := make([]int, nPairs)
+	for i := range dest {
+		dest[i] = r.ID()
+	}
+	for _, a := range aligns {
+		li := a.ReadIdx - readOffset
+		if li < 0 || li >= len(reads) {
+			continue
+		}
+		pair := li / 2
+		if pair < nPairs {
+			d := a.ContigID % p
+			if d < 0 {
+				d += p
+			}
+			dest[pair] = d
+		}
+	}
+	type pairMsg struct {
+		R1, R2 seq.Read
+		Dest   int
+	}
+	out := make([][]pairMsg, p)
+	for i := 0; i < nPairs; i++ {
+		out[dest[i]] = append(out[dest[i]], pairMsg{R1: reads[2*i], R2: reads[2*i+1], Dest: dest[i]})
+	}
+	// A trailing unpaired read (odd count) stays local.
+	var tail []seq.Read
+	if len(reads)%2 == 1 {
+		tail = append(tail, reads[len(reads)-1])
+	}
+	incoming := pgas.AllToAll(r, out, 240)
+	var newReads []seq.Read
+	for _, batch := range incoming {
+		for _, pm := range batch {
+			newReads = append(newReads, pm.R1, pm.R2)
+		}
+	}
+	newReads = append(newReads, tail...)
+	// Recompute a consistent global offset: exclusive prefix sum of counts.
+	counts := pgas.Gather(r, len(newReads))
+	offset := 0
+	for i := 0; i < r.ID(); i++ {
+		offset += counts[i]
+	}
+	return newReads, offset
+}
+
+func filterContigs(contigs []dbg.Contig, minLen int) []dbg.Contig {
+	if minLen <= 0 {
+		return contigs
+	}
+	out := contigs[:0]
+	for _, c := range contigs {
+		if len(c.Seq) >= minLen {
+			out = append(out, c)
+		}
+	}
+	// Re-densify IDs.
+	final := make([]dbg.Contig, len(out))
+	copy(final, out)
+	for i := range final {
+		final[i].ID = i
+	}
+	return final
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"mhmgo/internal/eval"
+	"mhmgo/internal/hmm"
+	"mhmgo/internal/seq"
+	"mhmgo/internal/sim"
+)
+
+// smallCommunity returns a small community and reads suitable for fast
+// end-to-end assembly tests.
+func smallCommunity(t *testing.T, genomes int, coverage float64) (*sim.Community, []seq.Read) {
+	t.Helper()
+	comm := sim.GenerateCommunity(sim.CommunityConfig{
+		NumGenomes:     genomes,
+		MeanGenomeLen:  4000,
+		LenVariation:   0.2,
+		AbundanceSigma: 0.6,
+		RRNALen:        200,
+		RRNADivergence: 0.02,
+		StrainFraction: 0,
+		Seed:           101,
+	})
+	reads := sim.SimulateReads(comm, sim.ReadConfig{
+		ReadLen:    80,
+		InsertSize: 220,
+		InsertStd:  15,
+		ErrorRate:  0.005,
+		Coverage:   coverage,
+		Seed:       102,
+	})
+	return comm, reads
+}
+
+func testConfig(ranks int) Config {
+	cfg := DefaultConfig(ranks)
+	cfg.KMin, cfg.KMax, cfg.KStep = 21, 33, 12
+	cfg.InsertSize, cfg.InsertStd = 220, 15
+	return cfg
+}
+
+func TestKValues(t *testing.T) {
+	cfg := Config{KMin: 21, KMax: 55, KStep: 12}
+	ks := cfg.KValues()
+	want := []int{21, 33, 45}
+	if len(ks) != len(want) {
+		t.Fatalf("KValues = %v, want %v", ks, want)
+	}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Errorf("KValues = %v, want %v", ks, want)
+			break
+		}
+	}
+	// Even k values are bumped to odd ones.
+	cfg = Config{KMin: 20, KMax: 20, KStep: 2}
+	ks = cfg.KValues()
+	if len(ks) != 1 || ks[0] != 21 {
+		t.Errorf("even k not adjusted: %v", ks)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	if _, err := Assemble(nil, DefaultConfig(2)); err == nil {
+		t.Error("empty read set should fail")
+	}
+	cfg := DefaultConfig(2)
+	cfg.KMin, cfg.KMax = 200, 300
+	if _, err := Assemble([]seq.Read{{ID: "r", Seq: []byte("ACGT")}}, cfg); err == nil {
+		t.Error("k out of range should fail")
+	}
+}
+
+func TestEndToEndAssemblyQuality(t *testing.T) {
+	comm, reads := smallCommunity(t, 3, 18)
+	cfg := testConfig(4)
+	cfg.RRNAProfile = hmm.BuildProfile([][]byte{comm.RRNAMarker}, 0.9)
+	res, err := Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Contigs) == 0 {
+		t.Fatal("no contigs assembled")
+	}
+	if res.SimSeconds <= 0 || res.WallSeconds <= 0 {
+		t.Error("timings not recorded")
+	}
+	if len(res.Stages) < 5 {
+		t.Errorf("expected stage timings for all stages, got %v", res.Stages)
+	}
+	if res.AlignedReadFrac < 0.8 {
+		t.Errorf("only %v of reads aligned back to contigs", res.AlignedReadFrac)
+	}
+
+	// Reference-based quality: most of each genome should be recovered and
+	// nothing should be badly misassembled.
+	eopts := eval.DefaultOptions()
+	eopts.RRNAProfile = cfg.RRNAProfile
+	report := eval.Evaluate("MetaHipMer", res.FinalSequences(), comm, eopts)
+	if report.GenomeFraction < 0.85 {
+		t.Errorf("genome fraction %v too low", report.GenomeFraction)
+	}
+	// Metagenome assemblies do contain some misassemblies (Table I reports
+	// hundreds for real assemblers); just require that they stay a small
+	// minority of the output sequences.
+	if limit := 3 + report.NumSeqs/5; report.Misassemblies > limit {
+		t.Errorf("too many misassemblies: %d of %d sequences", report.Misassemblies, report.NumSeqs)
+	}
+	if report.RRNACount == 0 {
+		t.Error("no rRNA regions recovered")
+	}
+	// Scaffolds/contigs should cover a large portion of the 3-genome
+	// community in total length.
+	if report.TotalLen < comm.TotalBases()*3/4 {
+		t.Errorf("assembly length %d much smaller than community %d", report.TotalLen, comm.TotalBases())
+	}
+}
+
+func TestAssemblyDeterministicAcrossRankCounts(t *testing.T) {
+	_, reads := smallCommunity(t, 2, 15)
+	// Localization changes read ordering and the Bloom prefilter drops the
+	// first sighting of each k-mer (whose identity depends on arrival
+	// order), so both are disabled for a bit-identical comparison.
+	cfgA := testConfig(2)
+	cfgA.ReadLocalization = false
+	cfgA.UseBloom = false
+	cfgB := testConfig(6)
+	cfgB.ReadLocalization = false
+	cfgB.UseBloom = false
+	resA, err := Assemble(reads, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Assemble(reads, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Contigs) != len(resB.Contigs) {
+		t.Fatalf("contig count differs across rank counts: %d vs %d", len(resA.Contigs), len(resB.Contigs))
+	}
+	for i := range resA.Contigs {
+		if string(resA.Contigs[i].Seq) != string(resB.Contigs[i].Seq) {
+			t.Errorf("contig %d differs across rank counts", i)
+		}
+	}
+}
+
+func TestScalingReducesSimulatedTime(t *testing.T) {
+	_, reads := smallCommunity(t, 2, 12)
+	times := map[int]float64{}
+	// One rank per node in both runs so that the on-node/off-node mix is
+	// comparable and only the degree of parallelism changes.
+	for _, ranks := range []int{2, 8} {
+		cfg := testConfig(ranks)
+		cfg.RanksPerNode = 1
+		res, err := Assemble(reads, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[ranks] = res.SimSeconds
+	}
+	if times[8] >= times[2] {
+		t.Errorf("simulated time should drop with more ranks: %v", times)
+	}
+}
+
+func TestDepthDependentThresholdBeatsGlobalOnQuality(t *testing.T) {
+	comm, reads := smallCommunity(t, 3, 25)
+	meta := testConfig(4)
+	hip := testConfig(4)
+	hip.GlobalTHQ = 1 // HipMer-style fixed threshold
+	metaRes, err := Assemble(reads, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hipRes, err := Assemble(reads, hip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eopts := eval.DefaultOptions()
+	metaRep := eval.Evaluate("meta", metaRes.FinalSequences(), comm, eopts)
+	hipRep := eval.Evaluate("hip", hipRes.FinalSequences(), comm, eopts)
+	if metaRep.GenomeFraction+0.02 < hipRep.GenomeFraction {
+		t.Errorf("depth-dependent threshold should not lose coverage: %v vs %v",
+			metaRep.GenomeFraction, hipRep.GenomeFraction)
+	}
+}
+
+func TestScaffoldingDisabled(t *testing.T) {
+	_, reads := smallCommunity(t, 2, 12)
+	cfg := testConfig(3)
+	cfg.Scaffolding = false
+	res, err := Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaffolds) != 0 {
+		t.Error("scaffolds produced despite Scaffolding=false")
+	}
+	if len(res.FinalSequences()) != len(res.Contigs) {
+		t.Error("FinalSequences should fall back to contigs")
+	}
+}
+
+func TestMinContigLenFilter(t *testing.T) {
+	_, reads := smallCommunity(t, 2, 12)
+	cfg := testConfig(2)
+	cfg.Scaffolding = false
+	cfg.MinContigLen = 500
+	res, err := Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Contigs {
+		if len(c.Seq) < 500 {
+			t.Errorf("contig of length %d survived the MinContigLen filter", len(c.Seq))
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package dbg implements the de Bruijn graph construction and traversal
+// stage of the pipeline (Section II-C of the paper).
+//
+// The graph is stored implicitly in a distributed hash table: each vertex is
+// a canonical k-mer and its value is a two-letter extension code giving the
+// unique base that precedes and follows it in the read set (or a fork /
+// dead-end marker). Contigs are maximal paths of k-mers whose consecutive
+// extensions agree in both directions ("UU contigs").
+//
+// The key metagenome-specific change relative to HipMer is the
+// depth-dependent high-quality-extension threshold: a k-mer with depth d is
+// extended if at most thq = max(tbase, e*d) observations contradict its most
+// common extension, instead of a single global threshold. This prevents
+// high-coverage genomes from fragmenting without sacrificing low-coverage
+// ones, and it is what the Table I ablation exercises.
+package dbg
+
+import (
+	"fmt"
+	"sort"
+
+	"mhmgo/internal/dht"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// Entry is the value stored for each canonical k-mer vertex of the graph.
+type Entry struct {
+	// Count is the k-mer's depth (number of occurrences in the reads).
+	Count uint32
+	// Ext holds the classified left/right extension characters in the
+	// canonical orientation ('A','C','G','T', 'F' fork, 'X' none).
+	Ext seq.ExtPair
+}
+
+// Contig is a confidently assembled sequence produced by graph traversal.
+type Contig struct {
+	// ID is a dense identifier assigned after traversal (unique across ranks).
+	ID int
+	// Seq is the contig sequence.
+	Seq []byte
+	// Depth is the mean depth of the contig's k-mers.
+	Depth float64
+}
+
+// Len returns the contig length in bases.
+func (c Contig) Len() int { return len(c.Seq) }
+
+// CanonicalSeq returns the lexicographically smaller of the contig sequence
+// and its reverse complement; two contigs representing the same genomic
+// locus in opposite orientations share a canonical sequence.
+func CanonicalSeq(s []byte) []byte {
+	rc := seq.ReverseComplement(s)
+	if string(rc) < string(s) {
+		return rc
+	}
+	return s
+}
+
+// ThresholdOptions selects how the high-quality extension threshold is
+// computed when classifying extensions.
+type ThresholdOptions struct {
+	// TBase is the hard lower limit of the threshold (tbase in the paper).
+	TBase uint32
+	// ErrorRate is the single-parameter sequencing error model (e in the
+	// paper); the depth-dependent threshold is max(TBase, ErrorRate*depth).
+	ErrorRate float64
+	// GlobalTHQ, when > 0, disables the depth-dependent rule and uses this
+	// fixed threshold for every k-mer (the HipMer behaviour, kept for the
+	// baseline and the ablation study).
+	GlobalTHQ uint32
+	// MinCount is the minimum extension support for a call.
+	MinCount uint32
+}
+
+// DefaultThresholds returns the MetaHipMer defaults.
+func DefaultThresholds() ThresholdOptions {
+	return ThresholdOptions{TBase: 2, ErrorRate: 0.015, MinCount: 1}
+}
+
+// THQFor returns the high-quality-extension threshold for a k-mer of the
+// given depth.
+func (t ThresholdOptions) THQFor(depth uint32) uint32 {
+	if t.GlobalTHQ > 0 {
+		return t.GlobalTHQ
+	}
+	dyn := uint32(t.ErrorRate * float64(depth))
+	if dyn < t.TBase {
+		return t.TBase
+	}
+	return dyn
+}
+
+// Graph is the distributed de Bruijn graph.
+type Graph struct {
+	K       int
+	Entries *dht.Map[seq.Kmer, Entry]
+}
+
+func kmerHash(k seq.Kmer) uint64 { return k.Hash() }
+
+// NewGraph creates an empty graph for k-mers of length k.
+func NewGraph(m *pgas.Machine, k int) *Graph {
+	return &Graph{K: k, Entries: dht.NewMap[seq.Kmer, Entry](m, kmerHash, 24)}
+}
+
+// Build classifies the k-mer counts into graph entries. It is collective:
+// each rank classifies the counts it owns (the entries land on the same
+// owner, so the phase is purely local). Returns the same graph on all ranks.
+func Build(r *pgas.Rank, counts *dht.Map[seq.Kmer, seq.KmerCount], k int, topts ThresholdOptions) *Graph {
+	var g *Graph
+	if r.ID() == 0 {
+		g = NewGraph(r.Machine(), k)
+	}
+	g = pgas.Broadcast(r, g)
+	if topts.MinCount == 0 {
+		topts.MinCount = 1
+	}
+	counts.ForEachLocal(r, func(km seq.Kmer, kc seq.KmerCount) {
+		thq := topts.THQFor(kc.Count)
+		e := Entry{Count: kc.Count}
+		e.Ext.Left = kc.Left.Classify(topts.MinCount, thq)
+		e.Ext.Right = kc.Right.Classify(topts.MinCount, thq)
+		g.Entries.SetLocal(r, km, e)
+	})
+	r.Barrier()
+	return g
+}
+
+// oriented is a k-mer as observed during a walk: the canonical key plus the
+// strand we are reading it on (true = canonical orientation).
+type oriented struct {
+	key     seq.Kmer
+	forward bool
+}
+
+// observedKmer returns the k-mer as read on the walk's strand.
+func (o oriented) observedKmer() seq.Kmer {
+	if o.forward {
+		return o.key
+	}
+	return o.key.ReverseComplement()
+}
+
+// observedExt returns the extension pair as seen on the walk's strand.
+func observedExt(e Entry, forward bool) seq.ExtPair {
+	if forward {
+		return e.Ext
+	}
+	return e.Ext.Swap()
+}
+
+// lookup fetches the entry of the canonical form of km, returning the
+// oriented view and whether it exists. reader may be nil, in which case the
+// graph is accessed directly.
+func (g *Graph) lookup(r *pgas.Rank, km seq.Kmer) (oriented, Entry, bool) {
+	canon, wasRC := km.Canonical()
+	e, ok := g.Entries.Get(r, canon)
+	return oriented{key: canon, forward: !wasRC}, e, ok
+}
+
+// successor returns the next oriented k-mer of a walk, or ok=false if the
+// walk must stop (no extension, fork, missing vertex, or mutual-agreement
+// failure).
+func (g *Graph) successor(r *pgas.Rank, cur oriented, e Entry) (oriented, Entry, byte, bool) {
+	ext := observedExt(e, cur.forward)
+	if !seq.IsBaseExt(ext.Right) {
+		return oriented{}, Entry{}, 0, false
+	}
+	code, _ := seq.CharToBase(ext.Right)
+	obs := cur.observedKmer()
+	nextObs := obs.AppendBase(code)
+	next, ne, ok := g.lookup(r, nextObs)
+	if !ok {
+		return oriented{}, Entry{}, 0, false
+	}
+	// Mutual agreement: the successor's left extension must point back at
+	// the first base of the current observed k-mer.
+	nextExt := observedExt(ne, next.forward)
+	if !seq.IsBaseExt(nextExt.Left) {
+		return oriented{}, Entry{}, 0, false
+	}
+	backCode, _ := seq.CharToBase(nextExt.Left)
+	if backCode != obs.FirstBase() {
+		return oriented{}, Entry{}, 0, false
+	}
+	return next, ne, code, true
+}
+
+// isPathStart reports whether the oriented k-mer has no valid predecessor,
+// i.e. a contig starts here when walking in this orientation.
+func (g *Graph) isPathStart(r *pgas.Rank, cur oriented, e Entry) bool {
+	ext := observedExt(e, cur.forward)
+	if !seq.IsBaseExt(ext.Left) {
+		return true
+	}
+	code, _ := seq.CharToBase(ext.Left)
+	obs := cur.observedKmer()
+	prevObs := obs.PrependBase(code)
+	prev, pe, ok := g.lookup(r, prevObs)
+	if !ok {
+		return true
+	}
+	prevExt := observedExt(pe, prev.forward)
+	if !seq.IsBaseExt(prevExt.Right) {
+		return true
+	}
+	fwdCode, _ := seq.CharToBase(prevExt.Right)
+	return fwdCode != obs.LastBase()
+}
+
+// TraverseOptions controls contig generation.
+type TraverseOptions struct {
+	// MinContigLen drops contigs shorter than this many bases (0 keeps all).
+	MinContigLen int
+	// MaxSteps bounds a single walk as a safeguard against cycles; 0 means
+	// the total number of graph vertices.
+	MaxSteps int
+}
+
+// Traverse generates contigs from the graph. Collective: every rank walks
+// the paths that start at k-mers it owns and returns only the contigs it
+// emitted; use GatherContigs to collect the full set. Contigs are emitted in
+// canonical orientation exactly once.
+func Traverse(r *pgas.Rank, g *Graph, opts TraverseOptions) []Contig {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = g.Entries.Len() + 1
+	}
+	var out []Contig
+	g.Entries.ForEachLocal(r, func(km seq.Kmer, e Entry) {
+		for _, forward := range []bool{true, false} {
+			cur := oriented{key: km, forward: forward}
+			if !g.isPathStart(r, cur, e) {
+				continue
+			}
+			contigSeq, counts := g.walk(r, cur, e, maxSteps)
+			if len(contigSeq) < g.K || (opts.MinContigLen > 0 && len(contigSeq) < opts.MinContigLen) {
+				continue
+			}
+			// Emit each path once: only from the end whose sequence is the
+			// canonical orientation (ties broken towards emitting).
+			rc := seq.ReverseComplement(contigSeq)
+			if string(contigSeq) > string(rc) {
+				continue
+			}
+			out = append(out, Contig{Seq: contigSeq, Depth: seq.MeanDepthFromCounts(counts)})
+		}
+	})
+	r.Barrier()
+	return out
+}
+
+// walk extends a path from the starting oriented k-mer until it hits a fork,
+// dead end, missing vertex or the step bound.
+func (g *Graph) walk(r *pgas.Rank, start oriented, e Entry, maxSteps int) ([]byte, []uint32) {
+	obs := start.observedKmer()
+	contigSeq := append([]byte(nil), obs.Bytes()...)
+	counts := []uint32{e.Count}
+	cur, ce := start, e
+	for steps := 0; steps < maxSteps; steps++ {
+		next, ne, code, ok := g.successor(r, cur, ce)
+		if !ok {
+			break
+		}
+		if next.key == start.key {
+			// Cycle closed; stop without repeating the start.
+			break
+		}
+		contigSeq = append(contigSeq, seq.BaseToChar(code))
+		counts = append(counts, ne.Count)
+		cur, ce = next, ne
+		r.Compute(1)
+	}
+	return contigSeq, counts
+}
+
+// GatherContigs collects the contigs emitted by every rank, assigns dense
+// IDs (sorted by descending length, then sequence, for determinism), and
+// returns the full set on every rank.
+func GatherContigs(r *pgas.Rank, local []Contig) []Contig {
+	all := pgas.Gather(r, local)
+	var merged []Contig
+	for _, cs := range all {
+		merged = append(merged, cs...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if len(merged[i].Seq) != len(merged[j].Seq) {
+			return len(merged[i].Seq) > len(merged[j].Seq)
+		}
+		return string(merged[i].Seq) < string(merged[j].Seq)
+	})
+	// Drop exact duplicates (e.g. palindromic paths emitted from both ends).
+	dedup := merged[:0]
+	var prev string
+	for i, c := range merged {
+		s := string(c.Seq)
+		if i > 0 && s == prev {
+			continue
+		}
+		prev = s
+		dedup = append(dedup, c)
+	}
+	for i := range dedup {
+		dedup[i].ID = i
+	}
+	r.Compute(float64(len(dedup)))
+	return dedup
+}
+
+// Stats summarizes a contig set.
+type Stats struct {
+	Count      int
+	TotalBases int
+	MaxLen     int
+	N50        int
+}
+
+// ComputeStats returns summary statistics of a contig set.
+func ComputeStats(contigs []Contig) Stats {
+	var s Stats
+	s.Count = len(contigs)
+	lengths := make([]int, 0, len(contigs))
+	for _, c := range contigs {
+		s.TotalBases += c.Len()
+		if c.Len() > s.MaxLen {
+			s.MaxLen = c.Len()
+		}
+		lengths = append(lengths, c.Len())
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	half := s.TotalBases / 2
+	acc := 0
+	for _, l := range lengths {
+		acc += l
+		if acc >= half {
+			s.N50 = l
+			break
+		}
+	}
+	return s
+}
+
+// String renders the stats in a single line.
+func (s Stats) String() string {
+	return fmt.Sprintf("contigs=%d bases=%d max=%d N50=%d", s.Count, s.TotalBases, s.MaxLen, s.N50)
+}

@@ -1,0 +1,419 @@
+// Package dht implements the distributed hash tables that are the backbone
+// of every parallel algorithm in the assembler, mirroring Section II-A of
+// the MetaHipMer paper.
+//
+// A Map partitions its entries over the ranks of a virtual PGAS machine by
+// hashing each key to an owner rank. The package provides dedicated APIs for
+// the four usage phases identified in the paper:
+//
+//   - Use case 1, "Global Update-Only": Updater aggregates fine-grained
+//     commutative updates into per-destination batches, dramatically reducing
+//     the number of messages (and the simulated communication cost).
+//   - Use case 2, "Global Reads & Writes": Get/Put/Mutate perform one-sided
+//     reads, writes and atomic read-modify-write operations on remote entries.
+//   - Use case 3, "Global Read-Only": CachedReader adds a per-rank software
+//     cache in front of Get for phases where the table is no longer mutated.
+//   - Use case 4, "Local Reads & Writes": Route ships items to their owner
+//     rank with a single all-to-all exchange so the owner can process them in
+//     a purely local hash table.
+package dht
+
+import (
+	"sync"
+
+	"mhmgo/internal/pgas"
+)
+
+// Map is a distributed hash table partitioned over the ranks of a machine.
+// The zero value is not usable; construct with NewMap (from the coordinator,
+// before Machine.Run) or NewMapCollective (from inside an SPMD region).
+type Map[K comparable, V any] struct {
+	machine    *pgas.Machine
+	hash       func(K) uint64
+	entryBytes int
+	shards     []shard[K, V]
+}
+
+type shard[K comparable, V any] struct {
+	mu   sync.Mutex
+	data map[K]V
+}
+
+// NewMap creates a distributed map on the given machine. hash must be a
+// deterministic, well-mixed hash of the key; entryBytes is the approximate
+// wire size of one entry, used by the communication cost model.
+func NewMap[K comparable, V any](m *pgas.Machine, hash func(K) uint64, entryBytes int) *Map[K, V] {
+	if entryBytes <= 0 {
+		entryBytes = 16
+	}
+	dm := &Map[K, V]{machine: m, hash: hash, entryBytes: entryBytes}
+	dm.shards = make([]shard[K, V], m.Ranks())
+	for i := range dm.shards {
+		dm.shards[i].data = make(map[K]V)
+	}
+	return dm
+}
+
+// NewMapCollective creates a distributed map from inside an SPMD region:
+// rank 0 allocates the map and every rank receives the same instance.
+func NewMapCollective[K comparable, V any](r *pgas.Rank, hash func(K) uint64, entryBytes int) *Map[K, V] {
+	var dm *Map[K, V]
+	if r.ID() == 0 {
+		dm = NewMap[K, V](r.Machine(), hash, entryBytes)
+	}
+	return pgas.Broadcast(r, dm)
+}
+
+// Owner returns the rank that owns the given key.
+func (m *Map[K, V]) Owner(key K) int {
+	return int(m.hash(key) % uint64(m.machine.Ranks()))
+}
+
+// EntryBytes returns the configured approximate entry size.
+func (m *Map[K, V]) EntryBytes() int { return m.entryBytes }
+
+// Len returns the total number of entries across all shards. It must not be
+// called concurrently with updates.
+func (m *Map[K, V]) Len() int {
+	total := 0
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		total += len(m.shards[i].data)
+		m.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// LocalLen returns the number of entries owned by the given rank.
+func (m *Map[K, V]) LocalLen(rank int) int {
+	s := &m.shards[rank]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Lookup reads the entry for key from outside an SPMD region (no cost is
+// charged). It is intended for coordinators, evaluation code and tests that
+// inspect the table after a parallel phase has completed.
+func (m *Map[K, V]) Lookup(key K) (V, bool) {
+	s := &m.shards[m.Owner(key)]
+	s.mu.Lock()
+	v, ok := s.data[key]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Get performs a one-sided read of the entry for key, charging the
+// appropriate communication cost to the calling rank.
+func (m *Map[K, V]) Get(r *pgas.Rank, key K) (V, bool) {
+	owner := m.Owner(key)
+	if owner == r.ID() {
+		r.Compute(1)
+	} else {
+		r.ChargeGet(owner, m.entryBytes, 1)
+	}
+	s := &m.shards[owner]
+	s.mu.Lock()
+	v, ok := s.data[key]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Put performs a one-sided write of the entry for key.
+func (m *Map[K, V]) Put(r *pgas.Rank, key K, val V) {
+	owner := m.Owner(key)
+	if owner == r.ID() {
+		r.Compute(1)
+	} else {
+		r.ChargeSend(owner, m.entryBytes, 1)
+	}
+	s := &m.shards[owner]
+	s.mu.Lock()
+	s.data[key] = val
+	s.mu.Unlock()
+}
+
+// Delete removes the entry for key, if present.
+func (m *Map[K, V]) Delete(r *pgas.Rank, key K) {
+	owner := m.Owner(key)
+	if owner == r.ID() {
+		r.Compute(1)
+	} else {
+		r.ChargeSend(owner, 8, 1)
+	}
+	s := &m.shards[owner]
+	s.mu.Lock()
+	delete(s.data, key)
+	s.mu.Unlock()
+}
+
+// Mutate atomically applies f to the entry for key under the owner's lock,
+// modelling a remote atomic (e.g. compare-and-swap on a "used" flag). f
+// receives the current value (and whether it exists) and returns the new
+// value, whether to store it, and an arbitrary result passed back to the
+// caller. The cost of a remote atomic is charged to the calling rank.
+func Mutate[K comparable, V any, R any](m *Map[K, V], r *pgas.Rank, key K, f func(v V, found bool) (V, bool, R)) R {
+	owner := m.Owner(key)
+	if owner == r.ID() {
+		r.Compute(2)
+	} else {
+		r.ChargeGet(owner, m.entryBytes, 1)
+	}
+	s := &m.shards[owner]
+	s.mu.Lock()
+	cur, ok := s.data[key]
+	nv, store, res := f(cur, ok)
+	if store {
+		s.data[key] = nv
+	}
+	s.mu.Unlock()
+	return res
+}
+
+// ForEachLocal iterates over the entries owned by the calling rank. The
+// callback must not call back into the same Map. Iteration order is
+// unspecified. One unit of compute is charged per entry.
+func (m *Map[K, V]) ForEachLocal(r *pgas.Rank, f func(K, V)) {
+	s := &m.shards[r.ID()]
+	s.mu.Lock()
+	keys := make([]K, 0, len(s.data))
+	vals := make([]V, 0, len(s.data))
+	for k, v := range s.data {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	s.mu.Unlock()
+	r.Compute(float64(len(keys)))
+	for i := range keys {
+		f(keys[i], vals[i])
+	}
+}
+
+// UpdateLocal applies f to the entry for key, which must be owned by the
+// calling rank (use case 4: local reads & writes after routing).
+func (m *Map[K, V]) UpdateLocal(r *pgas.Rank, key K, f func(v V, found bool) V) {
+	s := &m.shards[r.ID()]
+	s.mu.Lock()
+	cur, ok := s.data[key]
+	s.data[key] = f(cur, ok)
+	s.mu.Unlock()
+	r.Compute(1)
+}
+
+// SetLocal stores a value into the calling rank's shard directly (the key
+// must hash to this rank; this is not checked to keep the hot path cheap).
+func (m *Map[K, V]) SetLocal(r *pgas.Rank, key K, val V) {
+	s := &m.shards[r.ID()]
+	s.mu.Lock()
+	s.data[key] = val
+	s.mu.Unlock()
+	r.Compute(1)
+}
+
+// Snapshot returns a copy of all entries in the map. It is intended for the
+// end of a parallel phase (after a barrier) and for tests.
+func (m *Map[K, V]) Snapshot() map[K]V {
+	out := make(map[K]V, m.Len())
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		for k, v := range m.shards[i].data {
+			out[k] = v
+		}
+		m.shards[i].mu.Unlock()
+	}
+	return out
+}
+
+// kvPair is the unit buffered by an Updater.
+type kvPair[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Updater implements the "Global Update-Only" phase: commutative updates are
+// buffered per destination rank and applied in aggregated batches.
+type Updater[K comparable, V any] struct {
+	m         *Map[K, V]
+	r         *pgas.Rank
+	combine   func(existing V, update V, found bool) V
+	batches   [][]kvPair[K, V]
+	batchSize int
+	aggregate bool
+	pending   int
+}
+
+// NewUpdater creates an Updater for the calling rank. combine merges an
+// incoming update into the existing entry (found reports whether an entry
+// already existed). batchSize is the number of buffered updates per
+// destination before an automatic flush; aggregate=false disables batching
+// entirely (every update becomes its own message), which is used by the
+// ablation experiments and the Ray Meta baseline.
+func (m *Map[K, V]) NewUpdater(r *pgas.Rank, combine func(existing V, update V, found bool) V, batchSize int, aggregate bool) *Updater[K, V] {
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	return &Updater[K, V]{
+		m:         m,
+		r:         r,
+		combine:   combine,
+		batches:   make([][]kvPair[K, V], m.machine.Ranks()),
+		batchSize: batchSize,
+		aggregate: aggregate,
+	}
+}
+
+// Update buffers one commutative update for key.
+func (u *Updater[K, V]) Update(key K, val V) {
+	dest := u.m.Owner(key)
+	u.batches[dest] = append(u.batches[dest], kvPair[K, V]{key: key, val: val})
+	u.pending++
+	if !u.aggregate || len(u.batches[dest]) >= u.batchSize {
+		u.flushDest(dest)
+	}
+}
+
+// Flush applies all buffered updates. It must be called before the phase's
+// closing barrier.
+func (u *Updater[K, V]) Flush() {
+	for dest := range u.batches {
+		u.flushDest(dest)
+	}
+}
+
+// Pending returns the number of buffered (unflushed) updates.
+func (u *Updater[K, V]) Pending() int { return u.pending }
+
+func (u *Updater[K, V]) flushDest(dest int) {
+	batch := u.batches[dest]
+	if len(batch) == 0 {
+		return
+	}
+	u.batches[dest] = u.batches[dest][:0]
+	u.pending -= len(batch)
+	if dest == u.r.ID() {
+		u.r.Compute(float64(len(batch)))
+	} else if u.aggregate {
+		u.r.ChargeSend(dest, len(batch)*u.m.entryBytes, 1)
+	} else {
+		u.r.ChargeSend(dest, len(batch)*u.m.entryBytes, len(batch))
+	}
+	s := &u.m.shards[dest]
+	s.mu.Lock()
+	for _, kv := range batch {
+		cur, ok := s.data[kv.key]
+		s.data[kv.key] = u.combine(cur, kv.val, ok)
+	}
+	s.mu.Unlock()
+}
+
+// CachedReader implements the "Global Read-Only" phase: a per-rank software
+// cache in front of Get. The cache must only be used while the map is not
+// being mutated (no consistency protocol is provided, as in the paper).
+type CachedReader[K comparable, V any] struct {
+	m          *Map[K, V]
+	r          *pgas.Rank
+	cache      map[K]V
+	negCache   map[K]struct{}
+	maxEntries int
+	enabled    bool
+	hits       uint64
+	misses     uint64
+}
+
+// NewCachedReader creates a software cache of at most maxEntries entries in
+// front of the map for the calling rank. enabled=false bypasses the cache
+// (used for the read-localization ablation).
+func (m *Map[K, V]) NewCachedReader(r *pgas.Rank, maxEntries int, enabled bool) *CachedReader[K, V] {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	return &CachedReader[K, V]{
+		m:          m,
+		r:          r,
+		cache:      make(map[K]V),
+		negCache:   make(map[K]struct{}),
+		maxEntries: maxEntries,
+		enabled:    enabled,
+	}
+}
+
+// Get reads the entry for key, serving it from the software cache when
+// possible. Entries owned by the calling rank are always "hits".
+func (c *CachedReader[K, V]) Get(key K) (V, bool) {
+	owner := c.m.Owner(key)
+	if owner == c.r.ID() {
+		c.hits++
+		c.r.ChargeCacheHit()
+		s := &c.m.shards[owner]
+		s.mu.Lock()
+		v, ok := s.data[key]
+		s.mu.Unlock()
+		return v, ok
+	}
+	if c.enabled {
+		if v, ok := c.cache[key]; ok {
+			c.hits++
+			c.r.ChargeCacheHit()
+			return v, true
+		}
+		if _, ok := c.negCache[key]; ok {
+			c.hits++
+			c.r.ChargeCacheHit()
+			var zero V
+			return zero, false
+		}
+	}
+	c.misses++
+	c.r.ChargeCacheMiss(owner, c.m.entryBytes)
+	s := &c.m.shards[owner]
+	s.mu.Lock()
+	v, ok := s.data[key]
+	s.mu.Unlock()
+	if c.enabled {
+		if ok {
+			if len(c.cache) < c.maxEntries {
+				c.cache[key] = v
+			}
+		} else if len(c.negCache) < c.maxEntries {
+			c.negCache[key] = struct{}{}
+		}
+	}
+	return v, ok
+}
+
+// Stats returns the number of cache hits and misses recorded so far.
+func (c *CachedReader[K, V]) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// HitRate returns the fraction of lookups served without remote
+// communication, or 0 if no lookups were made.
+func (c *CachedReader[K, V]) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Route implements the "Local Reads & Writes" pattern: every rank provides a
+// slice of items; each item is shipped to the rank chosen by ownerOf via a
+// single aggregated all-to-all exchange, and the function returns the items
+// this rank received (including its own). bytesPerItem is used for cost
+// accounting.
+func Route[T any](r *pgas.Rank, items []T, ownerOf func(T) int, bytesPerItem int) []T {
+	p := r.NRanks()
+	out := make([][]T, p)
+	for _, item := range items {
+		dest := ownerOf(item) % p
+		if dest < 0 {
+			dest += p
+		}
+		out[dest] = append(out[dest], item)
+	}
+	r.Compute(float64(len(items)))
+	incoming := pgas.AllToAll(r, out, bytesPerItem)
+	var merged []T
+	for _, batch := range incoming {
+		merged = append(merged, batch...)
+	}
+	return merged
+}

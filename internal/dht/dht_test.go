@@ -1,0 +1,361 @@
+package dht
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mhmgo/internal/pgas"
+)
+
+func intHash(k int) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return x
+}
+
+func TestMapPutGetAcrossRanks(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4, RanksPerNode: 2})
+	dm := NewMap[int, string](m, intHash, 32)
+	m.Run(func(r *pgas.Rank) {
+		// Every rank writes 100 keys in its own stripe.
+		for i := 0; i < 100; i++ {
+			key := r.ID()*1000 + i
+			dm.Put(r, key, "v")
+		}
+		r.Barrier()
+		// Every rank reads keys written by every other rank.
+		for rank := 0; rank < r.NRanks(); rank++ {
+			for i := 0; i < 100; i++ {
+				if _, ok := dm.Get(r, rank*1000+i); !ok {
+					t.Errorf("rank %d: key %d missing", r.ID(), rank*1000+i)
+				}
+			}
+		}
+		if _, ok := dm.Get(r, 999999); ok {
+			t.Error("nonexistent key found")
+		}
+	})
+	if dm.Len() != 400 {
+		t.Errorf("Len = %d, want 400", dm.Len())
+	}
+}
+
+func TestMapOwnerPartitioning(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 8})
+	dm := NewMap[int, int](m, intHash, 16)
+	counts := make([]int, 8)
+	for k := 0; k < 10000; k++ {
+		counts[dm.Owner(k)]++
+	}
+	for rank, c := range counts {
+		if c < 10000/16 || c > 10000/4 {
+			t.Errorf("rank %d owns %d of 10000 keys; partitioning is badly skewed", rank, c)
+		}
+	}
+	// Snapshot/LocalLen consistency.
+	m.Run(func(r *pgas.Rank) {
+		lo, hi := r.BlockRange(1000)
+		for k := lo; k < hi; k++ {
+			dm.Put(r, k, k*2)
+		}
+	})
+	total := 0
+	for rank := 0; rank < 8; rank++ {
+		total += dm.LocalLen(rank)
+	}
+	if total != 1000 || dm.Len() != 1000 {
+		t.Errorf("LocalLen sum = %d, Len = %d, want 1000", total, dm.Len())
+	}
+	snap := dm.Snapshot()
+	if len(snap) != 1000 || snap[500] != 1000 {
+		t.Errorf("snapshot wrong: len=%d snap[500]=%d", len(snap), snap[500])
+	}
+}
+
+func TestMapDelete(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 2})
+	dm := NewMap[int, int](m, intHash, 16)
+	m.Run(func(r *pgas.Rank) {
+		if r.ID() == 0 {
+			dm.Put(r, 1, 10)
+			dm.Put(r, 2, 20)
+		}
+		r.Barrier()
+		if r.ID() == 1 {
+			dm.Delete(r, 1)
+		}
+		r.Barrier()
+		if _, ok := dm.Get(r, 1); ok {
+			t.Error("deleted key still present")
+		}
+		if v, ok := dm.Get(r, 2); !ok || v != 20 {
+			t.Error("surviving key lost")
+		}
+	})
+}
+
+func TestNewMapCollective(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	m.Run(func(r *pgas.Rank) {
+		dm := NewMapCollective[int, int](r, intHash, 16)
+		if dm == nil {
+			t.Errorf("rank %d received nil map", r.ID())
+			return
+		}
+		dm.Put(r, r.ID(), r.ID())
+		r.Barrier()
+		for i := 0; i < 4; i++ {
+			if v, ok := dm.Get(r, i); !ok || v != i {
+				t.Errorf("rank %d: key %d = %d,%v", r.ID(), i, v, ok)
+			}
+		}
+	})
+}
+
+func TestMutateAtomicity(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 8})
+	dm := NewMap[string, int](m, func(s string) uint64 { return 7 }, 16)
+	const perRank = 500
+	m.Run(func(r *pgas.Rank) {
+		for i := 0; i < perRank; i++ {
+			Mutate(dm, r, "counter", func(v int, found bool) (int, bool, int) {
+				return v + 1, true, v
+			})
+		}
+	})
+	snap := dm.Snapshot()
+	if snap["counter"] != 8*perRank {
+		t.Errorf("counter = %d, want %d; Mutate is not atomic", snap["counter"], 8*perRank)
+	}
+}
+
+func TestMutateTestAndSet(t *testing.T) {
+	// Models the speculative traversal "used flag": exactly one rank may
+	// claim each key.
+	m := pgas.NewMachine(pgas.Config{Ranks: 8})
+	dm := NewMap[int, bool](m, intHash, 8)
+	var claims int64
+	m.Run(func(r *pgas.Rank) {
+		for key := 0; key < 200; key++ {
+			won := Mutate(dm, r, key, func(used bool, found bool) (bool, bool, bool) {
+				if found && used {
+					return used, false, false
+				}
+				return true, true, true
+			})
+			if won {
+				atomic.AddInt64(&claims, 1)
+			}
+		}
+	})
+	if claims != 200 {
+		t.Errorf("%d claims, want exactly 200 (one per key)", claims)
+	}
+}
+
+func TestUpdaterAggregation(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4, RanksPerNode: 1})
+	combine := func(existing, update int, found bool) int {
+		if !found {
+			return update
+		}
+		return existing + update
+	}
+
+	// Aggregated updates.
+	dmAgg := NewMap[int, int](m, intHash, 16)
+	resAgg := m.Run(func(r *pgas.Rank) {
+		u := dmAgg.NewUpdater(r, combine, 64, true)
+		for i := 0; i < 1000; i++ {
+			u.Update(i%50, 1)
+		}
+		u.Flush()
+		if u.Pending() != 0 {
+			t.Errorf("pending updates after flush: %d", u.Pending())
+		}
+		r.Barrier()
+	})
+
+	// Unaggregated updates (one message per update).
+	dmRaw := NewMap[int, int](m, intHash, 16)
+	resRaw := m.Run(func(r *pgas.Rank) {
+		u := dmRaw.NewUpdater(r, combine, 64, false)
+		for i := 0; i < 1000; i++ {
+			u.Update(i%50, 1)
+		}
+		u.Flush()
+		r.Barrier()
+	})
+
+	// Both must produce identical contents: 4 ranks x 20 occurrences of each
+	// of the 50 keys.
+	snapA, snapR := dmAgg.Snapshot(), dmRaw.Snapshot()
+	if len(snapA) != 50 || len(snapR) != 50 {
+		t.Fatalf("snapshot sizes %d/%d, want 50", len(snapA), len(snapR))
+	}
+	for k, v := range snapA {
+		if v != 80 {
+			t.Errorf("aggregated key %d = %d, want 80", k, v)
+		}
+		if snapR[k] != v {
+			t.Errorf("aggregation changed results for key %d: %d vs %d", k, v, snapR[k])
+		}
+	}
+
+	// Aggregation must reduce message count and simulated time.
+	if resAgg.Stats.Messages >= resRaw.Stats.Messages {
+		t.Errorf("aggregated messages (%d) should be fewer than unaggregated (%d)",
+			resAgg.Stats.Messages, resRaw.Stats.Messages)
+	}
+	if resAgg.SimSeconds >= resRaw.SimSeconds {
+		t.Errorf("aggregated time (%v) should beat unaggregated (%v)",
+			resAgg.SimSeconds, resRaw.SimSeconds)
+	}
+}
+
+func TestUpdaterLocalShortcut(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 1})
+	dm := NewMap[int, int](m, intHash, 16)
+	res := m.Run(func(r *pgas.Rank) {
+		u := dm.NewUpdater(r, func(e, v int, ok bool) int { return e + v }, 8, true)
+		for i := 0; i < 100; i++ {
+			u.Update(i, i)
+		}
+		u.Flush()
+	})
+	if res.Stats.Messages != 0 {
+		t.Errorf("single-rank updates should not send messages, got %d", res.Stats.Messages)
+	}
+	if dm.Len() != 100 {
+		t.Errorf("Len = %d, want 100", dm.Len())
+	}
+}
+
+func TestForEachLocalAndUpdateLocal(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	dm := NewMap[int, int](m, intHash, 16)
+	m.Run(func(r *pgas.Rank) {
+		u := dm.NewUpdater(r, func(e, v int, ok bool) int { return e + v }, 32, true)
+		lo, hi := r.BlockRange(400)
+		for i := lo; i < hi; i++ {
+			u.Update(i, 1)
+		}
+		u.Flush()
+		r.Barrier()
+		// Each rank doubles its local entries.
+		var localKeys []int
+		dm.ForEachLocal(r, func(k, v int) { localKeys = append(localKeys, k) })
+		for _, k := range localKeys {
+			dm.UpdateLocal(r, k, func(v int, found bool) int {
+				if !found {
+					t.Errorf("local key %d vanished", k)
+				}
+				return v * 2
+			})
+		}
+		r.Barrier()
+	})
+	snap := dm.Snapshot()
+	if len(snap) != 400 {
+		t.Fatalf("len = %d, want 400", len(snap))
+	}
+	for k, v := range snap {
+		if v != 2 {
+			t.Errorf("key %d = %d, want 2", k, v)
+		}
+	}
+}
+
+func TestCachedReader(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4, RanksPerNode: 1})
+	dm := NewMap[int, int](m, intHash, 64)
+	// Populate.
+	m.Run(func(r *pgas.Rank) {
+		if r.ID() == 0 {
+			for i := 0; i < 100; i++ {
+				dm.Put(r, i, i)
+			}
+		}
+	})
+
+	var cachedTime, uncachedTime float64
+	resCached := m.Run(func(r *pgas.Rank) {
+		c := dm.NewCachedReader(r, 1024, true)
+		for pass := 0; pass < 10; pass++ {
+			for i := 0; i < 100; i++ {
+				if v, ok := c.Get(i); !ok || v != i {
+					t.Errorf("cached get %d = %d,%v", i, v, ok)
+				}
+			}
+		}
+		// Negative lookups are also cached.
+		for pass := 0; pass < 10; pass++ {
+			if _, ok := c.Get(100000); ok {
+				t.Error("phantom key")
+			}
+		}
+		if c.HitRate() < 0.5 {
+			t.Errorf("hit rate %v too low for repeated reads", c.HitRate())
+		}
+	})
+	cachedTime = resCached.SimSeconds
+
+	resUncached := m.Run(func(r *pgas.Rank) {
+		c := dm.NewCachedReader(r, 1024, false)
+		for pass := 0; pass < 10; pass++ {
+			for i := 0; i < 100; i++ {
+				c.Get(i)
+			}
+		}
+		hits, misses := c.Stats()
+		if hits+misses != 1000 {
+			t.Errorf("stats %d+%d != 1000", hits, misses)
+		}
+	})
+	uncachedTime = resUncached.SimSeconds
+
+	if cachedTime >= uncachedTime {
+		t.Errorf("software cache should reduce simulated time: %v vs %v", cachedTime, uncachedTime)
+	}
+}
+
+func TestRoute(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	totalReceived := int64(0)
+	m.Run(func(r *pgas.Rank) {
+		// Each rank emits 100 items labelled with a destination.
+		items := make([]int, 100)
+		for i := range items {
+			items[i] = i % 7
+		}
+		got := Route(r, items, func(v int) int { return v }, 8)
+		for _, v := range got {
+			if v%4 != r.ID() {
+				t.Errorf("rank %d received item %d owned by rank %d", r.ID(), v, v%4)
+			}
+		}
+		atomic.AddInt64(&totalReceived, int64(len(got)))
+	})
+	if totalReceived != 400 {
+		t.Errorf("total routed items = %d, want 400", totalReceived)
+	}
+}
+
+func TestRouteNegativeOwner(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 3})
+	m.Run(func(r *pgas.Rank) {
+		items := []int{-1, -2, -3, 0, 1, 2}
+		got := Route(r, items, func(v int) int { return v }, 8)
+		for _, v := range got {
+			owner := v % 3
+			if owner < 0 {
+				owner += 3
+			}
+			if owner != r.ID() {
+				t.Errorf("rank %d got item %d (owner %d)", r.ID(), v, owner)
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"mhmgo/internal/hmm"
+	"mhmgo/internal/seq"
+	"mhmgo/internal/sim"
+)
+
+func testCommunity() *sim.Community {
+	return sim.GenerateCommunity(sim.CommunityConfig{
+		NumGenomes: 4, MeanGenomeLen: 5000, RRNALen: 200, RRNADivergence: 0.02,
+		StrainFraction: 0, Seed: 55,
+	})
+}
+
+func TestPerfectAssemblyScoresPerfectly(t *testing.T) {
+	comm := testCommunity()
+	var assembly [][]byte
+	for _, g := range comm.Genomes {
+		assembly = append(assembly, g.Seq)
+	}
+	opts := DefaultOptions()
+	opts.RRNAProfile = hmm.BuildProfile([][]byte{comm.RRNAMarker}, 0.9)
+	rep := Evaluate("perfect", assembly, comm, opts)
+	if rep.GenomeFraction < 0.98 {
+		t.Errorf("genome fraction of the reference against itself = %v", rep.GenomeFraction)
+	}
+	if rep.Misassemblies != 0 {
+		t.Errorf("perfect assembly has %d misassemblies", rep.Misassemblies)
+	}
+	if rep.RRNACount != len(comm.Genomes) {
+		t.Errorf("rRNA count = %d, want %d", rep.RRNACount, len(comm.Genomes))
+	}
+	if rep.NumSeqs != 4 || rep.TotalLen != comm.TotalBases() {
+		t.Errorf("basic stats wrong: %+v", rep)
+	}
+	for _, g := range rep.PerGenome {
+		if g.GenomeFraction < 0.98 {
+			t.Errorf("genome %s fraction %v", g.Name, g.GenomeFraction)
+		}
+		if g.NGA50 < g.Length/2 {
+			t.Errorf("genome %s NGA50 %d for a perfect assembly of length %d", g.Name, g.NGA50, g.Length)
+		}
+	}
+}
+
+func TestFragmentedAssemblyLowerNGA50(t *testing.T) {
+	comm := testCommunity()
+	var whole, pieces [][]byte
+	for _, g := range comm.Genomes {
+		whole = append(whole, g.Seq)
+		for start := 0; start < len(g.Seq); start += 800 {
+			end := start + 800
+			if end > len(g.Seq) {
+				end = len(g.Seq)
+			}
+			pieces = append(pieces, g.Seq[start:end])
+		}
+	}
+	opts := DefaultOptions()
+	full := Evaluate("full", whole, comm, opts)
+	frag := Evaluate("frag", pieces, comm, opts)
+	if frag.PerGenome[0].NGA50 >= full.PerGenome[0].NGA50 {
+		t.Errorf("fragmented NGA50 (%d) should be below full (%d)",
+			frag.PerGenome[0].NGA50, full.PerGenome[0].NGA50)
+	}
+	if frag.GenomeFraction < 0.9 {
+		t.Errorf("fragmented assembly still covers the genomes, got %v", frag.GenomeFraction)
+	}
+	if full.N50 <= frag.N50 {
+		t.Errorf("N50 ordering wrong: %d vs %d", full.N50, frag.N50)
+	}
+}
+
+func TestChimericContigCountsAsMisassembly(t *testing.T) {
+	comm := testCommunity()
+	g0, g1 := comm.Genomes[0].Seq, comm.Genomes[1].Seq
+	chimera := append(append([]byte(nil), g0[:1500]...), g1[1000:2500]...)
+	opts := DefaultOptions()
+	rep := Evaluate("chimera", [][]byte{chimera}, comm, opts)
+	if rep.Misassemblies != 1 {
+		t.Errorf("chimeric contig not flagged: %+v", rep.Misassemblies)
+	}
+}
+
+func TestRearrangedContigCountsAsMisassembly(t *testing.T) {
+	comm := testCommunity()
+	g := comm.Genomes[2].Seq
+	// Join two distant segments of the same genome out of order.
+	rearranged := append(append([]byte(nil), g[3000:4500]...), g[0:1500]...)
+	opts := DefaultOptions()
+	rep := Evaluate("rearranged", [][]byte{rearranged}, comm, opts)
+	if rep.Misassemblies != 1 {
+		t.Errorf("rearranged contig not flagged: misassemblies=%d", rep.Misassemblies)
+	}
+}
+
+func TestUnalignedSequences(t *testing.T) {
+	comm := testCommunity()
+	junk := []byte(strings.Repeat("ACGT", 300))
+	rep := Evaluate("junk", [][]byte{junk}, comm, DefaultOptions())
+	if rep.UnalignedSeqs != 1 {
+		t.Errorf("junk sequence should be unaligned: %+v", rep)
+	}
+	if rep.GenomeFraction > 0.05 {
+		t.Errorf("junk should not cover the references: %v", rep.GenomeFraction)
+	}
+}
+
+func TestLengthThresholdsAndTable(t *testing.T) {
+	comm := testCommunity()
+	assembly := [][]byte{comm.Genomes[0].Seq, comm.Genomes[1].Seq[:1200], comm.Genomes[2].Seq[:300]}
+	opts := DefaultOptions()
+	opts.LengthThresholds = []int{1000, 2000}
+	rep := Evaluate("mix", assembly, comm, opts)
+	if rep.LenAtLeast[1000] < len(comm.Genomes[0].Seq)+1200 {
+		t.Errorf("len>=1000 = %d", rep.LenAtLeast[1000])
+	}
+	if rep.LenAtLeast[2000] < len(comm.Genomes[0].Seq) || rep.LenAtLeast[2000] >= rep.LenAtLeast[1000] {
+		t.Errorf("len>=2000 = %d", rep.LenAtLeast[2000])
+	}
+	table := FormatTable([]Report{rep}, opts.LengthThresholds)
+	if !strings.Contains(table, "mix") || !strings.Contains(table, "GenFrac") {
+		t.Errorf("FormatTable output unexpected:\n%s", table)
+	}
+}
+
+func TestReverseComplementContigStillCovers(t *testing.T) {
+	comm := testCommunity()
+	rc := seq.ReverseComplement(comm.Genomes[0].Seq)
+	rep := Evaluate("rc", [][]byte{rc}, comm, DefaultOptions())
+	if rep.PerGenome[0].GenomeFraction < 0.98 {
+		t.Errorf("reverse-complement assembly not recognized: %v", rep.PerGenome[0].GenomeFraction)
+	}
+	if rep.Misassemblies != 0 {
+		t.Errorf("reverse-complement contig flagged as misassembled")
+	}
+}
+
+func TestNGA50Helper(t *testing.T) {
+	if nga50(nil, 1000) != 0 {
+		t.Error("empty block list should give 0")
+	}
+	if nga50([]int{600, 300, 200}, 1000) != 600 {
+		t.Error("nga50 of dominant block wrong")
+	}
+	if nga50([]int{100, 100}, 1000) != 0 {
+		t.Error("blocks not reaching half the genome should give 0")
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the experiment smoke tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Genomes:      5,
+		GenomeLen:    2200,
+		Coverage:     14,
+		Ranks:        4,
+		RanksPerNode: 2,
+		NodeCounts:   []int{2, 4},
+		Seed:         3,
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	s := (Scale{}).withDefaults()
+	if s.Genomes == 0 || s.Ranks == 0 || len(s.NodeCounts) == 0 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if DefaultScale().Genomes <= QuickScale().Genomes {
+		t.Error("default scale should be larger than quick scale")
+	}
+}
+
+func TestTable1QualitySmoke(t *testing.T) {
+	res := Table1Quality(tinyScale())
+	if len(res.Reports) != 5 {
+		t.Fatalf("expected 5 assembler reports, got %d", len(res.Reports))
+	}
+	var mhmFrac float64
+	for _, rep := range res.Reports {
+		if rep.NumSeqs == 0 {
+			t.Errorf("%s produced no sequences", rep.Assembler)
+		}
+		if rep.Assembler == "MetaHipMer" {
+			mhmFrac = rep.GenomeFraction
+		}
+	}
+	if mhmFrac < 0.5 {
+		t.Errorf("MetaHipMer genome fraction %v too low even at tiny scale", mhmFrac)
+	}
+	if !strings.Contains(res.Format(), "MetaHipMer") {
+		t.Error("formatted table missing MetaHipMer row")
+	}
+}
+
+func TestFig4StrongScalingSmoke(t *testing.T) {
+	res := Fig4StrongScaling(tinyScale())
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 2 scaling rows, got %d", len(res.Rows))
+	}
+	if res.Rows[0].Efficiency != 1 {
+		t.Errorf("baseline efficiency should be 1, got %v", res.Rows[0].Efficiency)
+	}
+	if res.Rows[1].SimSeconds >= res.Rows[0].SimSeconds {
+		t.Errorf("more nodes should reduce simulated time: %+v", res.Rows)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "Figure 5") {
+		t.Error("format missing figure sections")
+	}
+}
+
+func TestFig3ReadLocalizationSmoke(t *testing.T) {
+	res := Fig3ReadLocalization(tinyScale())
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.AlignmentOn <= 0 || row.AlignmentOff <= 0 {
+			t.Errorf("alignment stage times missing: %+v", row)
+		}
+	}
+	if !strings.Contains(res.Format(), "speedup") {
+		t.Error("format missing speedup column")
+	}
+}
+
+func TestTable2WeakScalingSmoke(t *testing.T) {
+	res := Table2WeakScaling(tinyScale())
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 weak-scaling points, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.KBasesPerSecPN <= 0 {
+			t.Errorf("assembly rate missing for %+v", row)
+		}
+	}
+	if res.Efficiency <= 0 {
+		t.Error("weak scaling efficiency not computed")
+	}
+}
+
+func TestGrandChallengeSmoke(t *testing.T) {
+	res := GrandChallengeFullVsSubset(tinyScale())
+	if res.FullAssemblyBases <= res.SubsetAssemblyBases {
+		t.Errorf("full assembly (%d) should be larger than the subset assembly (%d)",
+			res.FullAssemblyBases, res.SubsetAssemblyBases)
+	}
+	if res.FullMapFraction <= res.SubsetMapFraction {
+		t.Errorf("more reads should map to the full assembly: %.3f vs %.3f",
+			res.FullMapFraction, res.SubsetMapFraction)
+	}
+	if !strings.Contains(res.Format(), "Grand challenge") {
+		t.Error("format missing header")
+	}
+}
+
+func TestFig6AndRayMetaSmoke(t *testing.T) {
+	s := tinyScale()
+	fig6 := Fig6NGA50PerGenome(s)
+	if len(fig6.Rows) != s.Genomes {
+		t.Fatalf("expected %d genomes in Fig6, got %d", s.Genomes, len(fig6.Rows))
+	}
+	anyNonZero := false
+	for _, r := range fig6.Rows {
+		if r.MetaHipMerNGA50 > 0 {
+			anyNonZero = true
+		}
+	}
+	if !anyNonZero {
+		t.Error("all NGA50 values are zero")
+	}
+
+	ray := RayMetaComparison(s)
+	if len(ray.Rows) == 0 {
+		t.Fatal("no Ray Meta comparison rows")
+	}
+	for _, row := range ray.Rows {
+		if row.SpeedupOverRay <= 1 {
+			t.Errorf("MetaHipMer should beat the Ray Meta proxy at %d nodes: %+v", row.Nodes, row)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	res := Ablations(tinyScale())
+	if len(res.Rows) < 4 {
+		t.Fatalf("expected several ablation rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Feature == "message aggregation" && row.Off <= row.On {
+			t.Errorf("disabling aggregation should cost time: %+v", row)
+		}
+	}
+	if !strings.Contains(res.Format(), "Ablations") {
+		t.Error("format missing header")
+	}
+}

@@ -1,0 +1,181 @@
+package histo
+
+import (
+	"math/rand"
+	"testing"
+
+	"mhmgo/internal/pgas"
+)
+
+func strHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func TestHeavyHittersFindsFrequentKeys(t *testing.T) {
+	hh := NewHeavyHitters[string](10)
+	r := rand.New(rand.NewSource(5))
+	// One key takes ~30% of a large stream, everything else is noise.
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.3 {
+			hh.Add("heavy", 1)
+		} else {
+			hh.Add(randKey(r), 1)
+		}
+	}
+	c, ok := hh.Candidate("heavy")
+	if !ok {
+		t.Fatal("heavy key not retained as candidate")
+	}
+	if c < n/10 {
+		t.Errorf("heavy key estimate %d is too low", c)
+	}
+	if hh.Total() != n {
+		t.Errorf("total = %d, want %d", hh.Total(), n)
+	}
+	top := hh.TopK(1)
+	if len(top) != 1 || top[0].Key != "heavy" {
+		t.Errorf("TopK(1) = %+v, want the heavy key", top)
+	}
+}
+
+func randKey(r *rand.Rand) string {
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+func TestHeavyHittersGuarantee(t *testing.T) {
+	// Misra-Gries guarantee: any key with frequency > total/capacity must be
+	// among the candidates.
+	hh := NewHeavyHitters[int](20)
+	const total = 20000
+	// Keys 0..4 each take 10% of the stream; the rest is spread thin.
+	for i := 0; i < total; i++ {
+		switch {
+		case i%10 < 5:
+			hh.Add(i%10, 1)
+		default:
+			hh.Add(100+i, 1)
+		}
+	}
+	for k := 0; k < 5; k++ {
+		if _, ok := hh.Candidate(k); !ok {
+			t.Errorf("frequent key %d missing from candidates", k)
+		}
+	}
+}
+
+func TestHeavyHittersWeightedAndEdgeCases(t *testing.T) {
+	hh := NewHeavyHitters[string](2)
+	hh.Add("a", 100)
+	hh.Add("b", 10)
+	hh.Add("c", 1) // forces an eviction pass
+	if _, ok := hh.Candidate("a"); !ok {
+		t.Error("dominant key evicted")
+	}
+	hh.Add("zero", 0)
+	hh.Add("neg", -5)
+	if hh.Total() != 111 {
+		t.Errorf("total = %d, want 111 (non-positive weights ignored)", hh.Total())
+	}
+	empty := NewHeavyHitters[string](0)
+	empty.Add("x", 1)
+	if empty.Total() != 1 {
+		t.Error("capacity clamp failed")
+	}
+}
+
+func TestHeavyHittersMerge(t *testing.T) {
+	a := NewHeavyHitters[string](10)
+	b := NewHeavyHitters[string](10)
+	for i := 0; i < 1000; i++ {
+		a.Add("x", 1)
+		b.Add("y", 1)
+	}
+	b.Add("x", 500)
+	a.Merge(b)
+	if a.Total() != 2500 {
+		t.Errorf("merged total = %d, want 2500", a.Total())
+	}
+	cx, _ := a.Candidate("x")
+	cy, _ := a.Candidate("y")
+	if cx < 1000 || cy < 500 {
+		t.Errorf("merged candidates wrong: x=%d y=%d", cx, cy)
+	}
+}
+
+func TestDistributedHistogramCounts(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	d := NewDistributed[string](m, strHash)
+	m.Run(func(r *pgas.Rank) {
+		// Every rank observes the same three keys with rank-dependent weights.
+		keys := []string{"aaa", "bbb", "ccc", "aaa"}
+		weights := []int64{1, 2, 3, int64(r.ID())}
+		d.AddAll(r, keys, weights)
+	})
+	totals := d.Totals()
+	if totals["aaa"] != 4*1+0+1+2+3 {
+		t.Errorf("aaa = %d, want 10", totals["aaa"])
+	}
+	if totals["bbb"] != 8 || totals["ccc"] != 12 {
+		t.Errorf("bbb=%d ccc=%d, want 8/12", totals["bbb"], totals["ccc"])
+	}
+	if d.NumDistinct() != 3 {
+		t.Errorf("NumDistinct = %d, want 3", d.NumDistinct())
+	}
+	if d.Count("bbb") != 8 {
+		t.Errorf("Count(bbb) = %d", d.Count("bbb"))
+	}
+	// Each key must live on exactly one rank.
+	found := 0
+	for rank := 0; rank < 4; rank++ {
+		m2 := d.local[rank]
+		if _, ok := m2["aaa"]; ok {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Errorf("key aaa present on %d ranks, want 1", found)
+	}
+}
+
+func TestDistributedHistogramUnitWeights(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 3})
+	d := NewDistributed[int](m, func(k int) uint64 { return uint64(k) * 2654435761 })
+	m.Run(func(r *pgas.Rank) {
+		keys := make([]int, 300)
+		for i := range keys {
+			keys[i] = i % 30
+		}
+		d.AddAll(r, keys, nil)
+	})
+	totals := d.Totals()
+	for k := 0; k < 30; k++ {
+		if totals[k] != 30 {
+			t.Errorf("key %d count = %d, want 30", k, totals[k])
+		}
+	}
+}
+
+func TestDistributedHistogramLocalCounts(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 2})
+	d := NewDistributed[string](m, strHash)
+	m.Run(func(r *pgas.Rank) {
+		d.AddAll(r, []string{"k1", "k2"}, nil)
+		r.Barrier()
+		local := d.LocalCounts(r)
+		for k := range local {
+			if d.Owner(k) != r.ID() {
+				t.Errorf("rank %d holds key %q owned by rank %d", r.ID(), k, d.Owner(k))
+			}
+		}
+	})
+}

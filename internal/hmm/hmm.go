@@ -1,0 +1,170 @@
+// Package hmm provides a lightweight profile model used to recognize
+// conserved ribosomal (rRNA-like) regions in contigs, standing in for the
+// HMMER pipeline the paper integrates. The scaffolder uses the hit/no-hit
+// decision to designate contig ends as extendable and to seed aggressive
+// traversal of conserved regions (Section III-C).
+//
+// The model is an ungapped position-weight profile built from one or more
+// example marker sequences: each position stores per-base log-odds against a
+// uniform background. A contig is a hit if any window on either strand
+// scores above a normalized threshold.
+package hmm
+
+import (
+	"math"
+
+	"mhmgo/internal/seq"
+)
+
+// Profile is a position-weight model of a conserved region.
+type Profile struct {
+	// logOdds[i][b] is the log-odds score of base b at profile position i.
+	logOdds [][4]float64
+	// matchLogOdds/mismatchLogOdds are the scores used when building from a
+	// single consensus sequence with an assumed per-base conservation.
+	length int
+}
+
+// BuildProfile constructs a profile from example sequences of identical
+// length (typically the planted marker or a set of observed rRNA copies).
+// conservation is the assumed per-position probability of the consensus base
+// (e.g. 0.9); it controls the scores when only one example is given.
+func BuildProfile(examples [][]byte, conservation float64) *Profile {
+	if len(examples) == 0 || len(examples[0]) == 0 {
+		return &Profile{}
+	}
+	if conservation <= 0.25 || conservation >= 1 {
+		conservation = 0.9
+	}
+	length := len(examples[0])
+	counts := make([][4]float64, length)
+	for _, ex := range examples {
+		for i := 0; i < length && i < len(ex); i++ {
+			code, ok := seq.CharToBase(ex[i])
+			if !ok {
+				continue
+			}
+			counts[i][code]++
+		}
+	}
+	p := &Profile{length: length, logOdds: make([][4]float64, length)}
+	background := 0.25
+	for i := 0; i < length; i++ {
+		total := counts[i][0] + counts[i][1] + counts[i][2] + counts[i][3]
+		for b := 0; b < 4; b++ {
+			var prob float64
+			if total == 0 {
+				prob = background
+			} else {
+				// Blend the observed frequency with the conservation prior.
+				freq := counts[i][b] / total
+				prob = conservation*freq + (1-conservation)*background
+			}
+			if prob < 1e-4 {
+				prob = 1e-4
+			}
+			p.logOdds[i][b] = math.Log(prob / background)
+		}
+	}
+	return p
+}
+
+// Length returns the profile length in positions.
+func (p *Profile) Length() int { return p.length }
+
+// maxScore returns the best possible score of the profile.
+func (p *Profile) maxScore() float64 {
+	var s float64
+	for i := 0; i < p.length; i++ {
+		best := p.logOdds[i][0]
+		for b := 1; b < 4; b++ {
+			if p.logOdds[i][b] > best {
+				best = p.logOdds[i][b]
+			}
+		}
+		s += best
+	}
+	return s
+}
+
+// scoreWindow scores the profile against s starting at offset.
+func (p *Profile) scoreWindow(s []byte, offset int) float64 {
+	var score float64
+	for i := 0; i < p.length; i++ {
+		j := offset + i
+		if j >= len(s) {
+			break
+		}
+		code, ok := seq.CharToBase(s[j])
+		if !ok {
+			continue
+		}
+		score += p.logOdds[i][code]
+	}
+	return score
+}
+
+// Hit describes the best match of the profile within a sequence.
+type Hit struct {
+	// Score is the best window score normalized by the profile's maximum
+	// score (1.0 = perfect match).
+	Score float64
+	// Pos is the start offset of the best window on the reported strand.
+	Pos int
+	// Reverse reports whether the hit is on the reverse complement strand.
+	Reverse bool
+}
+
+// Scan slides the profile over both strands of s (with the given stride) and
+// returns the best hit found.
+func (p *Profile) Scan(s []byte, stride int) Hit {
+	if p.length == 0 || len(s) == 0 {
+		return Hit{}
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+	maxScore := p.maxScore()
+	if maxScore <= 0 {
+		return Hit{}
+	}
+	best := Hit{Score: math.Inf(-1)}
+	scan := func(target []byte, reverse bool) {
+		last := len(target) - p.length
+		if last < 0 {
+			last = 0
+		}
+		for off := 0; off <= last; off += stride {
+			sc := p.scoreWindow(target, off) / maxScore
+			if sc > best.Score {
+				best = Hit{Score: sc, Pos: off, Reverse: reverse}
+			}
+		}
+	}
+	scan(s, false)
+	scan(seq.ReverseComplement(s), true)
+	if math.IsInf(best.Score, -1) {
+		return Hit{}
+	}
+	return best
+}
+
+// IsHit reports whether s contains the profiled region with at least the
+// given normalized score (a typical threshold is 0.5).
+func (p *Profile) IsHit(s []byte, threshold float64) bool {
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	return p.Scan(s, 1).Score >= threshold
+}
+
+// CountHits returns how many of the sequences contain the profiled region.
+func (p *Profile) CountHits(seqs [][]byte, threshold float64) int {
+	n := 0
+	for _, s := range seqs {
+		if p.IsHit(s, threshold) {
+			n++
+		}
+	}
+	return n
+}

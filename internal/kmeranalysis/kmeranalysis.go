@@ -1,0 +1,323 @@
+// Package kmeranalysis implements the first stage of the MetaHipMer
+// pipeline (Section II-B of the paper): parallel k-mer analysis.
+//
+// Input reads are split into overlapping k-mers; every k-mer occurrence is
+// routed to its owner rank together with the bases observed immediately
+// before and after it. Owners accumulate a distributed histogram of counts
+// and extension observations ("Local Reads & Writes" phase on top of an
+// aggregated all-to-all exchange), use a Bloom filter to keep erroneous
+// singleton k-mers out of the hash table, and run a Misra–Gries heavy-hitter
+// summary to identify the extremely abundant k-mers that metagenomes produce.
+package kmeranalysis
+
+import (
+	"mhmgo/internal/bloom"
+	"mhmgo/internal/dht"
+	"mhmgo/internal/histo"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// Options controls a k-mer analysis pass.
+type Options struct {
+	// K is the k-mer length (must be <= seq.MaxK).
+	K int
+	// MinCount is the minimum number of occurrences (epsilon in the paper,
+	// typically 2 or 3) for a k-mer to be retained.
+	MinCount uint32
+	// UseBloom enables the Bloom-filter prefilter that keeps k-mers seen
+	// only once out of the counting table.
+	UseBloom bool
+	// BloomFPRate is the target false positive rate of the prefilter.
+	BloomFPRate float64
+	// HeavyHitterCapacity is the number of Misra–Gries candidate slots per
+	// rank; 0 disables heavy-hitter tracking.
+	HeavyHitterCapacity int
+	// BatchSize is the per-destination aggregation batch size; Aggregate
+	// false disables batching (one message per k-mer, for ablations).
+	BatchSize int
+	Aggregate bool
+	// QualThreshold ignores extension observations whose base quality is
+	// below this Phred score (0 disables quality filtering).
+	QualThreshold int
+}
+
+// DefaultOptions returns the options used by the pipeline.
+func DefaultOptions(k int) Options {
+	return Options{
+		K:                   k,
+		MinCount:            2,
+		UseBloom:            true,
+		BloomFPRate:         0.01,
+		HeavyHitterCapacity: 64,
+		BatchSize:           1024,
+		Aggregate:           true,
+		QualThreshold:       5,
+	}
+}
+
+// Result is the outcome of a k-mer analysis pass.
+type Result struct {
+	// Counts maps each retained canonical k-mer to its count and extension
+	// observations.
+	Counts *dht.Map[seq.Kmer, seq.KmerCount]
+	// HeavyHitters lists the most frequent k-mers discovered by the
+	// streaming summary (merged across ranks), most frequent first.
+	HeavyHitters []histo.Item[seq.Kmer]
+	// TotalKmers is the total number of k-mer occurrences processed.
+	TotalKmers int64
+	// DistinctKmers is the number of distinct canonical k-mers retained.
+	DistinctKmers int
+}
+
+// observation is one k-mer occurrence shipped to its owner rank.
+type observation struct {
+	Kmer     seq.Kmer
+	Left     byte
+	Right    byte
+	HasLeft  bool
+	HasRight bool
+	WasRC    bool
+}
+
+// kmerHash adapts seq.Kmer.Hash for the dht package.
+func kmerHash(k seq.Kmer) uint64 { return k.Hash() }
+
+// NewCountsMap creates the distributed k-mer counts table.
+func NewCountsMap(m *pgas.Machine) *dht.Map[seq.Kmer, seq.KmerCount] {
+	return dht.NewMap[seq.Kmer, seq.KmerCount](m, kmerHash, 40)
+}
+
+// Run performs k-mer analysis over the calling rank's block of reads. It is
+// a collective operation; every rank must call it with its own reads. The
+// returned Result is identical on every rank (the Counts map is shared; the
+// scalar fields are all-reduced).
+func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer, seq.KmerCount]) Result {
+	if opts.K <= 0 || opts.K > seq.MaxK {
+		opts.K = 31
+	}
+	if opts.MinCount == 0 {
+		opts.MinCount = 2
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	if counts == nil {
+		counts = dht.NewMapCollective[seq.Kmer, seq.KmerCount](r, kmerHash, 40)
+	}
+
+	// Phase 1: extract observations from local reads and route them to the
+	// owners of their canonical k-mers with one aggregated exchange.
+	var local []observation
+	var totalLocal int64
+	var hh *histo.HeavyHitters[seq.Kmer]
+	if opts.HeavyHitterCapacity > 0 {
+		hh = histo.NewHeavyHitters[seq.Kmer](opts.HeavyHitterCapacity)
+	}
+	for _, read := range reads {
+		obs := extractObservations(read, opts)
+		totalLocal += int64(len(obs))
+		if hh != nil {
+			for _, o := range obs {
+				hh.Add(o.Kmer, 1)
+			}
+		}
+		local = append(local, obs...)
+		r.Compute(float64(len(read.Seq)))
+	}
+
+	var routed []observation
+	if opts.Aggregate {
+		routed = dht.Route(r, local, func(o observation) int { return counts.Owner(o.Kmer) }, 18)
+	} else {
+		// Unaggregated: each observation is charged as its own message, then
+		// routed the same way (the data movement is identical, only the
+		// message count differs).
+		for _, o := range local {
+			dest := counts.Owner(o.Kmer)
+			if dest != r.ID() {
+				r.ChargeSend(dest, 18, 1)
+			}
+		}
+		routed = dht.Route(r, local, func(o observation) int { return counts.Owner(o.Kmer) }, 18)
+	}
+
+	// Phase 2: the owner folds its received observations into a purely local
+	// table (use case 4), guarded by a Bloom filter against singletons.
+	var filter *bloom.Filter
+	if opts.UseBloom {
+		expected := uint64(len(routed))
+		if expected < 1024 {
+			expected = 1024
+		}
+		fp := opts.BloomFPRate
+		if fp <= 0 {
+			fp = 0.01
+		}
+		filter = bloom.NewWithEstimates(expected, fp)
+	}
+	for _, o := range routed {
+		insert := true
+		bonus := uint32(0)
+		if filter != nil {
+			h := o.Kmer.Hash()
+			if _, exists := counts.Get(r, o.Kmer); !exists {
+				if !filter.TestAndAdd(h) {
+					// First sighting: remember it in the filter only.
+					insert = false
+				} else {
+					// Second sighting: credit the occurrence the filter absorbed.
+					bonus = 1
+				}
+			}
+		}
+		if !insert {
+			continue
+		}
+		o := o
+		counts.UpdateLocal(r, o.Kmer, func(cur seq.KmerCount, found bool) seq.KmerCount {
+			if !found {
+				cur = seq.KmerCount{Kmer: o.Kmer}
+				cur.Count += bonus
+			}
+			cur.Observe(o.Left, o.Right, o.HasLeft, o.HasRight, o.WasRC)
+			return cur
+		})
+	}
+	r.Barrier()
+
+	// Phase 3: drop k-mers below the minimum count from the local shard.
+	var toDelete []seq.Kmer
+	counts.ForEachLocal(r, func(km seq.Kmer, kc seq.KmerCount) {
+		if kc.Count < opts.MinCount {
+			toDelete = append(toDelete, km)
+		}
+	})
+	for _, km := range toDelete {
+		counts.Delete(r, km)
+	}
+	r.Barrier()
+
+	// Phase 4: merge scalar statistics and heavy hitters across ranks.
+	res := Result{Counts: counts}
+	res.TotalKmers = r.AllReduceInt64(totalLocal, pgas.ReduceSum)
+	res.DistinctKmers = int(r.AllReduceInt64(int64(counts.LocalLen(r.ID())), pgas.ReduceSum))
+	if hh != nil {
+		all := pgas.Gather(r, hh.Items())
+		merged := histo.NewHeavyHitters[seq.Kmer](opts.HeavyHitterCapacity)
+		for _, items := range all {
+			for _, it := range items {
+				merged.Add(it.Key, it.Count)
+			}
+		}
+		res.HeavyHitters = merged.Items()
+	}
+	r.Barrier()
+	return res
+}
+
+// extractObservations splits one read into canonical k-mer observations.
+func extractObservations(read seq.Read, opts Options) []observation {
+	k := opts.K
+	if len(read.Seq) < k {
+		return nil
+	}
+	var out []observation
+	it := seq.NewKmerIter(read.Seq, k)
+	for {
+		km, off, ok := it.Next()
+		if !ok {
+			break
+		}
+		var o observation
+		canon, wasRC := km.Canonical()
+		o.Kmer = canon
+		o.WasRC = wasRC
+		if off > 0 {
+			if code, valid := seq.CharToBase(read.Seq[off-1]); valid && qualOK(read, off-1, opts.QualThreshold) {
+				o.Left = code
+				o.HasLeft = true
+			}
+		}
+		if off+k < len(read.Seq) {
+			if code, valid := seq.CharToBase(read.Seq[off+k]); valid && qualOK(read, off+k, opts.QualThreshold) {
+				o.Right = code
+				o.HasRight = true
+			}
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// qualOK reports whether the base at position i passes the quality filter.
+func qualOK(read seq.Read, i int, threshold int) bool {
+	if threshold <= 0 || len(read.Qual) <= i {
+		return true
+	}
+	return int(read.Qual[i])-33 >= threshold
+}
+
+// MergeContigKmers implements the k-mer set merge of Section II-H: the
+// (k)-mers of the previous iteration's contigs are inserted into the counts
+// table as error-free k-mers with unique high-quality extensions, using the
+// aggregated update-only phase. pseudoCount is the count credited to each
+// contig k-mer (it only needs to clear MinCount).
+func MergeContigKmers(r *pgas.Rank, counts *dht.Map[seq.Kmer, seq.KmerCount], contigSeqs [][]byte, k int, pseudoCount uint32) {
+	if pseudoCount == 0 {
+		pseudoCount = 2
+	}
+	combine := func(existing, update seq.KmerCount, found bool) seq.KmerCount {
+		if !found {
+			return update
+		}
+		// The contig k-mer only reinforces what is already there.
+		existing.Count += update.Count
+		existing.Left.Merge(update.Left)
+		existing.Right.Merge(update.Right)
+		return existing
+	}
+	u := counts.NewUpdater(r, combine, 1024, true)
+	for _, cs := range contigSeqs {
+		if len(cs) < k {
+			continue
+		}
+		it := seq.NewKmerIter(cs, k)
+		for {
+			km, off, ok := it.Next()
+			if !ok {
+				break
+			}
+			canon, wasRC := km.Canonical()
+			kc := seq.KmerCount{Kmer: canon, Count: pseudoCount}
+			var left, right byte
+			var hasLeft, hasRight bool
+			if off > 0 {
+				if code, valid := seq.CharToBase(cs[off-1]); valid {
+					left, hasLeft = code, true
+				}
+			}
+			if off+k < len(cs) {
+				if code, valid := seq.CharToBase(cs[off+k]); valid {
+					right, hasRight = code, true
+				}
+			}
+			// Credit the extensions with the pseudo count so they dominate
+			// noise when classified.
+			if wasRC {
+				hasLeft, hasRight = hasRight, hasLeft
+				left, right = seq.ComplementCode(right), seq.ComplementCode(left)
+			}
+			if hasLeft {
+				kc.Left.AddN(left, pseudoCount)
+			}
+			if hasRight {
+				kc.Right.AddN(right, pseudoCount)
+			}
+			u.Update(canon, kc)
+		}
+		r.Compute(float64(len(cs)))
+	}
+	u.Flush()
+	r.Barrier()
+}

@@ -1,0 +1,364 @@
+// Package localasm implements the local assembly stage of iterative contig
+// generation (Section II-G of the paper): contigs are extended by
+// "mer-walking" through the reads that align to them (or whose mates are
+// projected onto them), with a dynamically adjusted mer size — upshifted at
+// forks, downshifted at dead ends — and dynamic work stealing over a global
+// atomic counter to balance the highly variable per-contig cost.
+package localasm
+
+import (
+	"sort"
+
+	"mhmgo/internal/aligner"
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/dht"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// Options controls local assembly.
+type Options struct {
+	// K is the base mer size used for walking (usually the pipeline's k).
+	K int
+	// ShiftStep is how much the mer size is shifted up or down (L in the
+	// paper) when a fork or dead end is hit.
+	ShiftStep int
+	// MinMer and MaxMer bound the dynamic mer size.
+	MinMer, MaxMer int
+	// MaxExtension bounds how many bases a contig end may be extended.
+	MaxExtension int
+	// MinSupport is the number of read observations required to accept an
+	// extension base (lower than the global k-mer analysis threshold, as the
+	// paper allows uncontested extensions of lower quality).
+	MinSupport int
+	// EndWindow recruits reads aligned within this many bases of a contig
+	// end (plus projected mates).
+	EndWindow int
+	// WorkStealing enables the dynamic work-stealing scheduler; when false
+	// contigs are statically block-partitioned (ablation mode).
+	WorkStealing bool
+	// BlockSize is the number of contigs claimed per steal.
+	BlockSize int
+}
+
+// DefaultOptions returns the local assembly defaults for mer size k.
+func DefaultOptions(k int) Options {
+	return Options{
+		K:            k,
+		ShiftStep:    4,
+		MinMer:       k - 8,
+		MaxMer:       k + 12,
+		MaxExtension: 300,
+		MinSupport:   2,
+		EndWindow:    200,
+		WorkStealing: true,
+		BlockSize:    4,
+	}
+}
+
+// Result reports the outcome of local assembly.
+type Result struct {
+	Contigs        []dbg.Contig
+	ExtendedBases  int
+	ContigsTouched int
+	Steals         int
+}
+
+func intHash(k int) uint64 {
+	x := uint64(k)*0x9e3779b97f4a7c15 + 0x7f4a7c15
+	x ^= x >> 31
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return x
+}
+
+// Run extends the contigs using the reads aligned to them. Collective: every
+// rank passes its local reads and the alignments computed for them; the full
+// (replicated) contig set and the full result are returned on every rank.
+//
+// Reads must be distributed in whole pairs (use pgas.PairBlockRange) so that
+// a read's mate is available on the same rank for recruitment.
+func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, alignments []aligner.Alignment, opts Options) Result {
+	if opts.K <= 0 {
+		opts.K = 31
+	}
+	if opts.ShiftStep <= 0 {
+		opts.ShiftStep = 4
+	}
+	if opts.MinMer <= 4 {
+		opts.MinMer = 5
+	}
+	if opts.MaxMer <= opts.MinMer {
+		opts.MaxMer = opts.MinMer + 8
+	}
+	if opts.MaxExtension <= 0 {
+		opts.MaxExtension = 300
+	}
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = 2
+	}
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = 4
+	}
+	// Step 1: recruit reads for each contig into a global hash table keyed by
+	// contig ID ("each thread reads a portion of the reads file and stores
+	// the reads into a global hash table"). A read is useful for a contig if
+	// it aligns near one of the contig's ends; its mate is also recruited
+	// since it may extend past the end.
+	byID := make(map[int]int, len(contigs))
+	for i, c := range contigs {
+		byID[c.ID] = i
+	}
+	readPool := dht.NewMapCollective[int, [][]byte](r, intHash, 240)
+	poolCombine := func(existing, update [][]byte, found bool) [][]byte {
+		return append(existing, update...)
+	}
+	pool := readPool.NewUpdater(r, poolCombine, 64, true)
+	for _, a := range alignments {
+		ci, ok := byID[a.ContigID]
+		if !ok {
+			continue
+		}
+		c := contigs[ci]
+		nearStart := a.ContigPos <= opts.EndWindow
+		nearEnd := a.ContigPos+a.AlignLen >= len(c.Seq)-opts.EndWindow
+		if !nearStart && !nearEnd {
+			continue
+		}
+		li := a.ReadIdx - readOffset
+		if li < 0 || li >= len(reads) {
+			continue
+		}
+		pool.Update(a.ContigID, [][]byte{reads[li].Seq})
+		// Recruit the mate: reads are interleaved pairs in *global* order
+		// (global indices 2i and 2i+1 are mates).
+		mateLocal := (a.ReadIdx ^ 1) - readOffset
+		if mateLocal >= 0 && mateLocal < len(reads) {
+			pool.Update(a.ContigID, [][]byte{reads[mateLocal].Seq})
+		}
+		r.Compute(1)
+	}
+	pool.Flush()
+	r.Barrier()
+
+	// Step 2: walk the contigs. The recruited reads live in the global
+	// address space, so any rank can process any contig; the dynamic
+	// work-stealing counter hands out blocks of contigs so that the
+	// embarrassingly parallel mer-walks stay load balanced.
+	counterHandle := -1
+	if opts.WorkStealing {
+		var h int
+		if r.ID() == 0 {
+			h = r.Machine().NewAtomic(0)
+		}
+		counterHandle = pgas.Broadcast(r, h)
+	} else {
+		r.Barrier()
+	}
+
+	extended := make(map[int][]byte) // contig index -> new sequence
+	extendedBases := 0
+	touched := 0
+	steals := 0
+
+	processContig := func(idx int) {
+		c := contigs[idx]
+		rds, ok := readPool.Get(r, c.ID)
+		if !ok || len(rds) == 0 {
+			return
+		}
+		// Sort for determinism: the DHT accumulates read batches in rank
+		// arrival order, which is timing-dependent.
+		sort.Slice(rds, func(i, j int) bool { return string(rds[i]) < string(rds[j]) })
+		newSeq, added := extendContig(r, c.Seq, rds, opts)
+		if added > 0 {
+			extended[idx] = newSeq
+			extendedBases += added
+			touched++
+		}
+	}
+
+	if opts.WorkStealing {
+		for {
+			start := int(r.AtomicFetchAdd(counterHandle, int64(opts.BlockSize)))
+			if start >= len(contigs) {
+				break
+			}
+			steals++
+			end := start + opts.BlockSize
+			if end > len(contigs) {
+				end = len(contigs)
+			}
+			for idx := start; idx < end; idx++ {
+				processContig(idx)
+			}
+		}
+	} else {
+		lo, hi := r.BlockRange(len(contigs))
+		for idx := lo; idx < hi; idx++ {
+			processContig(idx)
+		}
+	}
+	r.Barrier()
+
+	// Step 3: merge the extensions from all ranks.
+	type extRecord struct {
+		Idx int
+		Seq []byte
+	}
+	var localExts []extRecord
+	for idx, s := range extended {
+		localExts = append(localExts, extRecord{Idx: idx, Seq: s})
+	}
+	sort.Slice(localExts, func(i, j int) bool { return localExts[i].Idx < localExts[j].Idx })
+	all := pgas.Gather(r, localExts)
+	out := make([]dbg.Contig, len(contigs))
+	copy(out, contigs)
+	for _, exts := range all {
+		for _, e := range exts {
+			out[e.Idx].Seq = e.Seq
+		}
+	}
+	res := Result{Contigs: out}
+	res.ExtendedBases = int(r.AllReduceInt64(int64(extendedBases), pgas.ReduceSum))
+	res.ContigsTouched = int(r.AllReduceInt64(int64(touched), pgas.ReduceSum))
+	res.Steals = int(r.AllReduceInt64(int64(steals), pgas.ReduceSum))
+	r.Barrier()
+	return res
+}
+
+// extendContig mer-walks both ends of a contig using the recruited reads and
+// returns the (possibly longer) sequence and the number of bases added.
+func extendContig(r *pgas.Rank, contigSeq []byte, reads [][]byte, opts Options) ([]byte, int) {
+	table := buildMerTable(reads, opts.MinMer, opts.MaxMer)
+	r.Compute(float64(len(reads) * 8))
+
+	// Extend to the right.
+	right := walk(contigSeq, table, opts)
+	// Extend to the left: walk the reverse complement's right end.
+	rc := seq.ReverseComplement(contigSeq)
+	left := walk(rc, table, opts)
+
+	if len(right) == 0 && len(left) == 0 {
+		return contigSeq, 0
+	}
+	newSeq := make([]byte, 0, len(contigSeq)+len(left)+len(right))
+	newSeq = append(newSeq, seq.ReverseComplement(left)...)
+	newSeq = append(newSeq, contigSeq...)
+	newSeq = append(newSeq, right...)
+	return newSeq, len(left) + len(right)
+}
+
+// merTable counts, for every observed mer of every size in [minMer, maxMer],
+// how many times each base follows it in the recruited reads (both strands).
+type merTable map[string]*[4]int
+
+func buildMerTable(reads [][]byte, minMer, maxMer int) merTable {
+	t := make(merTable)
+	add := func(s []byte) {
+		for m := minMer; m <= maxMer; m += 1 {
+			for i := 0; i+m < len(s); i++ {
+				code, ok := seq.CharToBase(s[i+m])
+				if !ok {
+					continue
+				}
+				window := s[i : i+m]
+				if !seq.ValidBases(window) {
+					continue
+				}
+				key := string(window)
+				counts, exists := t[key]
+				if !exists {
+					counts = &[4]int{}
+					t[key] = counts
+				}
+				counts[code]++
+			}
+		}
+	}
+	for _, rd := range reads {
+		add(rd)
+		add(seq.ReverseComplement(rd))
+	}
+	return t
+}
+
+// walkState classifies one extension attempt.
+type walkState int
+
+const (
+	stateExtend walkState = iota
+	stateFork
+	stateDeadEnd
+)
+
+// nextBase inspects the mer table for the unique supported continuation of
+// the current mer.
+func nextBase(t merTable, mer []byte, minSupport int) (byte, walkState) {
+	counts, ok := t[string(mer)]
+	if !ok {
+		return 0, stateDeadEnd
+	}
+	best, second, bestCode := 0, 0, -1
+	total := 0
+	for code, c := range counts {
+		total += c
+		if c > best {
+			second = best
+			best = c
+			bestCode = code
+		} else if c > second {
+			second = c
+		}
+	}
+	if total == 0 || best < minSupport {
+		return 0, stateDeadEnd
+	}
+	if second >= minSupport {
+		return 0, stateFork
+	}
+	return byte(bestCode), stateExtend
+}
+
+// walk extends the right end of s by mer-walking with dynamic mer-size
+// shifting: upshift on forks, downshift on dead ends; terminate on a fork
+// after a downshift, a dead end after an upshift, or the extension cap.
+func walk(s []byte, t merTable, opts Options) []byte {
+	cur := append([]byte(nil), s...)
+	var added []byte
+	m := opts.K
+	if m > opts.MaxMer {
+		m = opts.MaxMer
+	}
+	if m < opts.MinMer {
+		m = opts.MinMer
+	}
+	lastShift := 0 // +1 upshift, -1 downshift, 0 none
+	for len(added) < opts.MaxExtension {
+		if len(cur) < m {
+			break
+		}
+		mer := cur[len(cur)-m:]
+		code, state := nextBase(t, mer, opts.MinSupport)
+		switch state {
+		case stateExtend:
+			base := seq.BaseToChar(code)
+			cur = append(cur, base)
+			added = append(added, base)
+			lastShift = 0
+		case stateFork:
+			if lastShift == -1 || m+opts.ShiftStep > opts.MaxMer {
+				return added
+			}
+			m += opts.ShiftStep
+			lastShift = 1
+		case stateDeadEnd:
+			if lastShift == 1 || m-opts.ShiftStep < opts.MinMer {
+				return added
+			}
+			m -= opts.ShiftStep
+			lastShift = -1
+		}
+	}
+	return added
+}

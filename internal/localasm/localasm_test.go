@@ -1,0 +1,170 @@
+package localasm
+
+import (
+	"strings"
+	"testing"
+
+	"mhmgo/internal/aligner"
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// genome returns a synthetic genome with no long repeats.
+func genome() string {
+	return "ACGTTGCAAGCTTACGGATCCGTAAACTGGTCCATTGGCAACGGTATTCCAGGAATTCACAGGCTTAAGCCTGAATCGTAGGCATCAGTTGACCAATTCGGA"
+}
+
+// pairedReads tiles the genome with interleaved forward/reverse read pairs.
+func pairedReads(g string, readLen, frag, step int) []seq.Read {
+	var reads []seq.Read
+	for start := 0; start+frag <= len(g); start += step {
+		fwd := g[start : start+readLen]
+		rev := seq.ReverseComplementString(g[start+frag-readLen : start+frag])
+		reads = append(reads,
+			seq.Read{ID: "p/1", Seq: []byte(fwd)},
+			seq.Read{ID: "p/2", Seq: []byte(rev)},
+		)
+	}
+	return reads
+}
+
+func runLocalAssembly(t *testing.T, contigs []dbg.Contig, reads []seq.Read, ranks int, opts Options) Result {
+	t.Helper()
+	m := pgas.NewMachine(pgas.Config{Ranks: ranks})
+	aopts := aligner.DefaultOptions(15)
+	var res Result
+	m.Run(func(r *pgas.Rank) {
+		idx := aligner.BuildIndex(r, contigs, aopts)
+		lo, hi := r.PairBlockRange(len(reads))
+		aligns, _ := aligner.AlignReads(r, idx, reads[lo:hi], lo, aopts)
+		got := Run(r, contigs, reads[lo:hi], lo, aligns, opts)
+		if r.ID() == 0 {
+			res = got
+		}
+	})
+	return res
+}
+
+func TestExtendsTruncatedContig(t *testing.T) {
+	g := genome()
+	// The contig covers only the middle of the genome; reads cover all of it,
+	// so mer-walking should extend the contig toward both genome ends.
+	contig := dbg.Contig{ID: 0, Seq: []byte(g[30:70]), Depth: 20}
+	reads := pairedReads(g, 30, 60, 2)
+	opts := DefaultOptions(21)
+	opts.MinSupport = 2
+	res := runLocalAssembly(t, []dbg.Contig{contig}, reads, 3, opts)
+	if res.ExtendedBases == 0 || res.ContigsTouched != 1 {
+		t.Fatalf("no extension happened: %+v", res)
+	}
+	ext := string(res.Contigs[0].Seq)
+	if len(ext) <= 40 {
+		t.Fatalf("contig not extended: %d bases", len(ext))
+	}
+	// The extended contig must remain a substring of the genome (or its
+	// reverse complement): mer-walking must not invent sequence.
+	if !strings.Contains(g, ext) && !strings.Contains(g, seq.ReverseComplementString(ext)) {
+		t.Errorf("extended contig is not a substring of the genome:\n%s", ext)
+	}
+}
+
+func TestNoReadsMeansNoExtension(t *testing.T) {
+	contig := dbg.Contig{ID: 0, Seq: []byte(genome()[10:60]), Depth: 20}
+	opts := DefaultOptions(21)
+	res := runLocalAssembly(t, []dbg.Contig{contig}, nil, 2, opts)
+	if res.ExtendedBases != 0 || res.ContigsTouched != 0 {
+		t.Errorf("extension without reads: %+v", res)
+	}
+	if string(res.Contigs[0].Seq) != genome()[10:60] {
+		t.Error("contig modified without reads")
+	}
+}
+
+func TestWorkStealingMatchesStatic(t *testing.T) {
+	g := genome()
+	contigs := []dbg.Contig{
+		{ID: 0, Seq: []byte(g[20:60]), Depth: 20},
+		{ID: 1, Seq: []byte(seq.ReverseComplementString(g[40:90])), Depth: 20},
+	}
+	reads := pairedReads(g, 30, 60, 2)
+	dynamic := DefaultOptions(21)
+	static := DefaultOptions(21)
+	static.WorkStealing = false
+	resDyn := runLocalAssembly(t, contigs, reads, 4, dynamic)
+	resStat := runLocalAssembly(t, contigs, reads, 4, static)
+	if resDyn.ExtendedBases != resStat.ExtendedBases {
+		t.Errorf("work stealing changed the result: %d vs %d extended bases",
+			resDyn.ExtendedBases, resStat.ExtendedBases)
+	}
+	for i := range contigs {
+		if string(resDyn.Contigs[i].Seq) != string(resStat.Contigs[i].Seq) {
+			t.Errorf("contig %d differs between schedulers", i)
+		}
+	}
+	if resDyn.Steals == 0 {
+		t.Error("dynamic scheduler should record at least one steal")
+	}
+	if resStat.Steals != 0 {
+		t.Error("static scheduler should record zero steals")
+	}
+}
+
+func TestRankIndependence(t *testing.T) {
+	g := genome()
+	contigs := []dbg.Contig{{ID: 0, Seq: []byte(g[25:75]), Depth: 20}}
+	reads := pairedReads(g, 30, 60, 3)
+	opts := DefaultOptions(21)
+	base := runLocalAssembly(t, contigs, reads, 1, opts)
+	for _, ranks := range []int{2, 5} {
+		got := runLocalAssembly(t, contigs, reads, ranks, opts)
+		if string(got.Contigs[0].Seq) != string(base.Contigs[0].Seq) {
+			t.Errorf("ranks=%d: extension differs from single-rank run", ranks)
+		}
+	}
+}
+
+func TestWalkStopsAtFork(t *testing.T) {
+	// Reads diverge after a shared prefix: the walk must stop at (or shortly
+	// after) the fork rather than picking a branch arbitrarily when both
+	// branches are well supported at every mer size.
+	prefix := "ACGTTGCAAGCTTACGGATCCGTAAACTGG"
+	branchA := prefix + "AAACCCGGGTTTACGATC"
+	branchB := prefix + "TTTGGGCCCAAATGCTAG"
+	var reads [][]byte
+	for i := 0; i < 5; i++ {
+		reads = append(reads, []byte(branchA), []byte(branchB))
+	}
+	opts := DefaultOptions(15)
+	opts.MinMer = 9
+	opts.MaxMer = 17
+	table := buildMerTable(reads, opts.MinMer, opts.MaxMer)
+	added := walk([]byte(prefix[:25]), table, opts)
+	// The walk may reach the fork point but must not run deep into either
+	// branch (the branches diverge right after the prefix).
+	if len(added) > len(prefix)-25+4 {
+		t.Errorf("walk continued %d bases past its start despite the fork", len(added))
+	}
+}
+
+func TestWalkRespectsMaxExtension(t *testing.T) {
+	g := strings.Repeat("ACGTTGCAAGCTTACGGATC", 20)
+	var reads [][]byte
+	for start := 0; start+40 <= len(g); start += 3 {
+		reads = append(reads, []byte(g[start:start+40]))
+	}
+	opts := DefaultOptions(15)
+	opts.MaxExtension = 10
+	table := buildMerTable(reads, opts.MinMer, opts.MaxMer)
+	added := walk([]byte(g[:30]), table, opts)
+	if len(added) > 10 {
+		t.Errorf("walk exceeded MaxExtension: %d", len(added))
+	}
+}
+
+func TestDefaultOptionsSane(t *testing.T) {
+	opts := DefaultOptions(31)
+	if opts.MinMer >= opts.MaxMer || opts.MaxExtension <= 0 || !opts.WorkStealing {
+		t.Errorf("bad defaults: %+v", opts)
+	}
+}

@@ -1,0 +1,597 @@
+// Package pgas implements the virtual PGAS (Partitioned Global Address
+// Space) runtime the assembler is built on.
+//
+// The original MetaHipMer is written in Unified Parallel C and runs on a Cray
+// supercomputer. Here the same SPMD programming model is reproduced inside a
+// single process: a Machine hosts P ranks, each executed by its own
+// goroutine, grouped into virtual nodes. Ranks communicate through the
+// higher-level data structures (distributed hash tables, all-to-all
+// exchanges, global atomics) which are all built on the primitives in this
+// package.
+//
+// Every remote operation is metered. A configurable cost model converts the
+// metered operations into a deterministic *simulated* execution time per
+// rank, which is what the scaling experiments report: it reproduces the
+// shapes of the paper's strong/weak scaling results (communication costs,
+// aggregation benefits, off-node vs on-node locality, load imbalance) without
+// requiring thousands of physical cores. Real wall-clock time is also
+// tracked, and the ranks really do run concurrently, so the distributed data
+// structures are exercised under true parallelism.
+package pgas
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CostModel converts metered operations into simulated seconds. The defaults
+// are loosely calibrated to a Cray-XC-class machine: microsecond-scale
+// off-node latency, ~10 GB/s per-rank off-node bandwidth, and a few
+// nanoseconds per unit of local work.
+type CostModel struct {
+	// ComputePerOp is the simulated cost in seconds of one unit of local
+	// work (roughly: touching one k-mer, one base, or one hash bucket).
+	ComputePerOp float64
+	// LatencyOnNode and LatencyOffNode are the per-message costs of a
+	// communication event that stays within a virtual node or crosses
+	// nodes, respectively.
+	LatencyOnNode  float64
+	LatencyOffNode float64
+	// ByteOnNode and ByteOffNode are the per-byte transfer costs.
+	ByteOnNode  float64
+	ByteOffNode float64
+	// AtomicCost is the cost of one remote atomic operation.
+	AtomicCost float64
+	// BarrierCost is the per-participant cost of a barrier.
+	BarrierCost float64
+}
+
+// DefaultCostModel returns the calibration used by the experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ComputePerOp:   6e-9,
+		LatencyOnNode:  4e-7,
+		LatencyOffNode: 2.5e-6,
+		ByteOnNode:     2.0e-10, // ~5 GB/s
+		ByteOffNode:    8.0e-10, // ~1.25 GB/s per rank
+		AtomicCost:     3e-6,
+		BarrierCost:    1.5e-5,
+	}
+}
+
+// Config describes a virtual machine.
+type Config struct {
+	// Ranks is the total number of SPMD ranks (UPC "threads").
+	Ranks int
+	// RanksPerNode groups ranks into virtual nodes; communication between
+	// ranks on the same node is cheaper. Defaults to Ranks (single node).
+	RanksPerNode int
+	// Cost is the simulated cost model. Zero value means DefaultCostModel.
+	Cost CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.RanksPerNode <= 0 || c.RanksPerNode > c.Ranks {
+		c.RanksPerNode = c.Ranks
+	}
+	if c.Cost == (CostModel{}) {
+		c.Cost = DefaultCostModel()
+	}
+	return c
+}
+
+// CommStats counts the communication and computation performed by one rank.
+type CommStats struct {
+	ComputeOps      float64
+	Messages        uint64
+	OffNodeMessages uint64
+	BytesSent       uint64
+	OffNodeBytes    uint64
+	RemoteGets      uint64
+	RemotePuts      uint64
+	AtomicOps       uint64
+	Barriers        uint64
+	CacheHits       uint64
+	CacheMisses     uint64
+}
+
+// Add accumulates other into s.
+func (s *CommStats) Add(other CommStats) {
+	s.ComputeOps += other.ComputeOps
+	s.Messages += other.Messages
+	s.OffNodeMessages += other.OffNodeMessages
+	s.BytesSent += other.BytesSent
+	s.OffNodeBytes += other.OffNodeBytes
+	s.RemoteGets += other.RemoteGets
+	s.RemotePuts += other.RemotePuts
+	s.AtomicOps += other.AtomicOps
+	s.Barriers += other.Barriers
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+}
+
+// Machine is a virtual PGAS machine: a set of ranks grouped into nodes,
+// with shared state for barriers, exchanges, reductions and global atomics.
+type Machine struct {
+	cfg Config
+
+	barrier     *clockBarrier
+	exchangeBuf [][]any // [dest][src] slots for all-to-all exchanges
+	reduceBuf   []float64
+	gatherBuf   []any
+
+	atomicMu sync.Mutex
+	atomics  []int64
+
+	timingMu sync.Mutex
+	stages   []StageTime
+	stats    CommStats
+	simTime  float64
+	wallTime time.Duration
+}
+
+// StageTime records the simulated duration of one named pipeline stage.
+type StageTime struct {
+	Name    string
+	Seconds float64
+}
+
+// NewMachine creates a virtual machine with the given configuration.
+func NewMachine(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{cfg: cfg}
+	m.barrier = newClockBarrier(cfg.Ranks)
+	m.exchangeBuf = make([][]any, cfg.Ranks)
+	for i := range m.exchangeBuf {
+		m.exchangeBuf[i] = make([]any, cfg.Ranks)
+	}
+	m.reduceBuf = make([]float64, cfg.Ranks)
+	m.gatherBuf = make([]any, cfg.Ranks)
+	return m
+}
+
+// Ranks returns the number of ranks.
+func (m *Machine) Ranks() int { return m.cfg.Ranks }
+
+// Nodes returns the number of virtual nodes.
+func (m *Machine) Nodes() int {
+	return (m.cfg.Ranks + m.cfg.RanksPerNode - 1) / m.cfg.RanksPerNode
+}
+
+// RanksPerNode returns the configured ranks-per-node.
+func (m *Machine) RanksPerNode() int { return m.cfg.RanksPerNode }
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() CostModel { return m.cfg.Cost }
+
+// NodeOf returns the virtual node hosting a rank.
+func (m *Machine) NodeOf(rank int) int { return rank / m.cfg.RanksPerNode }
+
+// NewAtomic allocates a global atomic counter initialized to init and
+// returns its handle. Atomics must be allocated before Run (typically by the
+// code that sets up a parallel phase).
+func (m *Machine) NewAtomic(init int64) int {
+	m.atomicMu.Lock()
+	defer m.atomicMu.Unlock()
+	m.atomics = append(m.atomics, init)
+	return len(m.atomics) - 1
+}
+
+// RunResult summarizes a completed SPMD execution.
+type RunResult struct {
+	// SimSeconds is the simulated execution time: the maximum simulated
+	// clock over all ranks at the end of the run.
+	SimSeconds float64
+	// Wall is the real elapsed wall-clock time of the run.
+	Wall time.Duration
+	// Stats is the sum of all ranks' communication statistics.
+	Stats CommStats
+	// Stages lists the named stage timings recorded during the run.
+	Stages []StageTime
+}
+
+// Run executes body once per rank (SPMD style) and blocks until every rank
+// has returned. It may be called multiple times on the same machine; the
+// returned result covers only this run, while the machine also accumulates
+// totals retrievable via Totals.
+func (m *Machine) Run(body func(r *Rank)) RunResult {
+	m.timingMu.Lock()
+	m.stages = nil
+	m.timingMu.Unlock()
+
+	ranks := make([]*Rank, m.cfg.Ranks)
+	for i := range ranks {
+		ranks[i] = &Rank{machine: m, id: i, node: m.NodeOf(i)}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(len(ranks))
+	for _, r := range ranks {
+		go func(r *Rank) {
+			defer wg.Done()
+			body(r)
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var res RunResult
+	res.Wall = wall
+	for _, r := range ranks {
+		res.Stats.Add(r.stats)
+		if r.clock > res.SimSeconds {
+			res.SimSeconds = r.clock
+		}
+	}
+	m.timingMu.Lock()
+	res.Stages = append([]StageTime(nil), m.stages...)
+	m.stats.Add(res.Stats)
+	m.simTime += res.SimSeconds
+	m.wallTime += wall
+	m.timingMu.Unlock()
+	return res
+}
+
+// Totals returns the accumulated simulated time, wall time and statistics
+// over all Run calls so far.
+func (m *Machine) Totals() (simSeconds float64, wall time.Duration, stats CommStats) {
+	m.timingMu.Lock()
+	defer m.timingMu.Unlock()
+	return m.simTime, m.wallTime, m.stats
+}
+
+// recordStage accumulates the duration of a named stage. Stages that run
+// once per pipeline iteration (e.g. "alignment") therefore report their
+// total time across iterations.
+func (m *Machine) recordStage(name string, seconds float64) {
+	m.timingMu.Lock()
+	defer m.timingMu.Unlock()
+	for i := range m.stages {
+		if m.stages[i].Name == name {
+			m.stages[i].Seconds += seconds
+			return
+		}
+	}
+	m.stages = append(m.stages, StageTime{Name: name, Seconds: seconds})
+}
+
+// Rank is the per-goroutine handle of one SPMD rank.
+type Rank struct {
+	machine *Machine
+	id      int
+	node    int
+	clock   float64
+	stats   CommStats
+}
+
+// ID returns the rank index in [0, NRanks).
+func (r *Rank) ID() int { return r.id }
+
+// NRanks returns the number of ranks in the machine.
+func (r *Rank) NRanks() int { return r.machine.cfg.Ranks }
+
+// Node returns the virtual node hosting this rank.
+func (r *Rank) Node() int { return r.node }
+
+// Nodes returns the number of virtual nodes in the machine.
+func (r *Rank) Nodes() int { return r.machine.Nodes() }
+
+// Machine returns the machine this rank belongs to.
+func (r *Rank) Machine() *Machine { return r.machine }
+
+// SameNode reports whether the given rank lives on the same virtual node.
+func (r *Rank) SameNode(other int) bool { return r.machine.NodeOf(other) == r.node }
+
+// Clock returns the rank's simulated clock in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Stats returns a copy of the rank's communication statistics.
+func (r *Rank) Stats() CommStats { return r.stats }
+
+// Compute charges ops units of local work to the rank's simulated clock.
+func (r *Rank) Compute(ops float64) {
+	if ops <= 0 {
+		return
+	}
+	r.stats.ComputeOps += ops
+	r.clock += ops * r.machine.cfg.Cost.ComputePerOp
+}
+
+// ChargeSend charges the cost of sending msgs messages totalling bytes bytes
+// to the destination rank (a one-sided put or an aggregated batch).
+func (r *Rank) ChargeSend(dest int, bytes int, msgs int) {
+	if msgs <= 0 {
+		return
+	}
+	c := r.machine.cfg.Cost
+	off := !r.SameNode(dest)
+	r.stats.Messages += uint64(msgs)
+	r.stats.BytesSent += uint64(bytes)
+	r.stats.RemotePuts += uint64(msgs)
+	if off {
+		r.stats.OffNodeMessages += uint64(msgs)
+		r.stats.OffNodeBytes += uint64(bytes)
+		r.clock += float64(msgs)*c.LatencyOffNode + float64(bytes)*c.ByteOffNode
+	} else {
+		r.clock += float64(msgs)*c.LatencyOnNode + float64(bytes)*c.ByteOnNode
+	}
+}
+
+// ChargeGet charges the cost of fetching bytes bytes from the source rank
+// (a one-sided get, e.g. a remote hash-table lookup).
+func (r *Rank) ChargeGet(src int, bytes int, msgs int) {
+	if msgs <= 0 {
+		return
+	}
+	c := r.machine.cfg.Cost
+	off := !r.SameNode(src)
+	r.stats.Messages += uint64(msgs)
+	r.stats.RemoteGets += uint64(msgs)
+	r.stats.BytesSent += uint64(bytes)
+	if off {
+		r.stats.OffNodeMessages += uint64(msgs)
+		r.stats.OffNodeBytes += uint64(bytes)
+		r.clock += float64(msgs)*c.LatencyOffNode + float64(bytes)*c.ByteOffNode
+	} else {
+		r.clock += float64(msgs)*c.LatencyOnNode + float64(bytes)*c.ByteOnNode
+	}
+}
+
+// ChargeCacheHit records a software-cache hit (served locally, nearly free).
+func (r *Rank) ChargeCacheHit() {
+	r.stats.CacheHits++
+	r.Compute(1)
+}
+
+// ChargeCacheMiss records a software-cache miss that had to go remote.
+func (r *Rank) ChargeCacheMiss(src int, bytes int) {
+	r.stats.CacheMisses++
+	r.ChargeGet(src, bytes, 1)
+}
+
+// AtomicFetchAdd atomically adds delta to the global counter with the given
+// handle and returns the previous value. The cost of a remote atomic is
+// charged to the calling rank.
+func (r *Rank) AtomicFetchAdd(handle int, delta int64) int64 {
+	m := r.machine
+	m.atomicMu.Lock()
+	prev := m.atomics[handle]
+	m.atomics[handle] += delta
+	m.atomicMu.Unlock()
+	r.stats.AtomicOps++
+	r.clock += m.cfg.Cost.AtomicCost
+	return prev
+}
+
+// AtomicLoad returns the current value of a global atomic counter.
+func (r *Rank) AtomicLoad(handle int) int64 {
+	m := r.machine
+	m.atomicMu.Lock()
+	v := m.atomics[handle]
+	m.atomicMu.Unlock()
+	r.stats.AtomicOps++
+	r.clock += m.cfg.Cost.AtomicCost
+	return v
+}
+
+// Barrier synchronizes all ranks and advances every rank's simulated clock
+// to the maximum clock among them (plus the barrier cost), modelling the
+// fact that a stage ends only when its slowest rank finishes.
+func (r *Rank) Barrier() {
+	r.stats.Barriers++
+	r.clock = r.machine.barrier.await(r.clock) + r.machine.cfg.Cost.BarrierCost
+}
+
+// StageStart returns a token capturing the rank's clock after a barrier; use
+// with StageEnd to time a pipeline stage.
+func (r *Rank) StageStart() float64 {
+	r.Barrier()
+	return r.clock
+}
+
+// StageEnd ends a stage started with StageStart, records its simulated
+// duration under the given name, and returns that duration. The barrier
+// before measuring makes the duration identical on every rank; only rank 0
+// records it, so repeated stages accumulate exactly once per execution.
+func (r *Rank) StageEnd(name string, startClock float64) float64 {
+	r.Barrier()
+	dur := r.clock - startClock
+	if r.id == 0 {
+		r.machine.recordStage(name, dur)
+	}
+	return dur
+}
+
+// AllReduceFloat64 combines one float64 value per rank with the given
+// reduction and returns the combined value on every rank.
+func (r *Rank) AllReduceFloat64(x float64, op ReduceOp) float64 {
+	m := r.machine
+	m.reduceBuf[r.id] = x
+	r.ChargeSend(0, 8, 1)
+	r.Barrier()
+	result := m.reduceBuf[0]
+	for i := 1; i < m.cfg.Ranks; i++ {
+		result = op.combine(result, m.reduceBuf[i])
+	}
+	r.Barrier()
+	return result
+}
+
+// AllReduceInt64 combines one int64 value per rank.
+func (r *Rank) AllReduceInt64(x int64, op ReduceOp) int64 {
+	return int64(r.AllReduceFloat64(float64(x), op))
+}
+
+// ReduceOp selects the combining function of an all-reduce.
+type ReduceOp int
+
+// Supported reductions.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMax
+	ReduceMin
+)
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case ReduceMax:
+		if a > b {
+			return a
+		}
+		return b
+	case ReduceMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		return a + b
+	}
+}
+
+// Gather collects one value from every rank and returns the slice (indexed
+// by rank) on every rank.
+func Gather[T any](r *Rank, x T) []T {
+	m := r.machine
+	m.gatherBuf[r.id] = x
+	r.ChargeSend(0, 16, 1)
+	r.Barrier()
+	out := make([]T, m.cfg.Ranks)
+	for i := 0; i < m.cfg.Ranks; i++ {
+		out[i] = m.gatherBuf[i].(T)
+	}
+	r.Barrier()
+	return out
+}
+
+// Broadcast returns rank 0's value of x on every rank.
+func Broadcast[T any](r *Rank, x T) T {
+	all := Gather(r, x)
+	return all[0]
+}
+
+// AllToAll exchanges one slice per destination rank. outgoing must have
+// exactly NRanks entries; entry d is delivered to rank d. The returned slice
+// has NRanks entries where entry s is the slice this rank received from rank
+// s. Costs are charged per destination batch (aggregated messages).
+func AllToAll[T any](r *Rank, outgoing [][]T, bytesPerItem int) [][]T {
+	m := r.machine
+	if len(outgoing) != m.cfg.Ranks {
+		panic(fmt.Sprintf("pgas: AllToAll outgoing has %d entries, want %d", len(outgoing), m.cfg.Ranks))
+	}
+	for dest, batch := range outgoing {
+		m.exchangeBuf[dest][r.id] = batch
+		if len(batch) > 0 && dest != r.id {
+			r.ChargeSend(dest, len(batch)*bytesPerItem, 1)
+		}
+	}
+	r.Barrier()
+	incoming := make([][]T, m.cfg.Ranks)
+	for src := 0; src < m.cfg.Ranks; src++ {
+		slot := m.exchangeBuf[r.id][src]
+		if slot != nil {
+			incoming[src] = slot.([]T)
+		}
+	}
+	r.Barrier()
+	for src := 0; src < m.cfg.Ranks; src++ {
+		m.exchangeBuf[r.id][src] = nil
+	}
+	r.Barrier()
+	return incoming
+}
+
+// BlockRange returns the half-open range [lo, hi) of the items owned by this
+// rank under a block distribution of n items.
+func (r *Rank) BlockRange(n int) (lo, hi int) {
+	return BlockRange(n, r.machine.cfg.Ranks, r.id)
+}
+
+// PairBlockRange returns the half-open range [lo, hi) of the items owned by
+// this rank under a block distribution that never splits consecutive pairs
+// (items 2i and 2i+1 always land on the same rank). Use it to distribute
+// interleaved paired-end reads.
+func (r *Rank) PairBlockRange(n int) (lo, hi int) {
+	return PairBlockRange(n, r.machine.cfg.Ranks, r.id)
+}
+
+// PairBlockRange is the package-level form of Rank.PairBlockRange.
+func PairBlockRange(n, p, rank int) (lo, hi int) {
+	pairs := n / 2
+	plo, phi := BlockRange(pairs, p, rank)
+	lo, hi = plo*2, phi*2
+	if rank == p-1 {
+		hi = n // a trailing unpaired item goes to the last rank
+	}
+	return lo, hi
+}
+
+// BlockRange returns the half-open range [lo, hi) of items owned by rank
+// `rank` under a block distribution of n items over p ranks.
+func BlockRange(n, p, rank int) (lo, hi int) {
+	if p <= 0 {
+		return 0, n
+	}
+	per := n / p
+	rem := n % p
+	lo = rank*per + min(rank, rem)
+	hi = lo + per
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// SortStages returns the stage timings sorted by descending duration.
+func SortStages(stages []StageTime) []StageTime {
+	out := append([]StageTime(nil), stages...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds > out[j].Seconds })
+	return out
+}
+
+// clockBarrier is a reusable barrier that also synchronizes the simulated
+// clocks of the participating ranks to the maximum value.
+type clockBarrier struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	n          int
+	count      int
+	generation int
+	maxClock   float64
+	results    [2]float64
+}
+
+func newClockBarrier(n int) *clockBarrier {
+	b := &clockBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants have arrived and returns the maximum
+// clock value among them.
+func (b *clockBarrier) await(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.generation
+	if clock > b.maxClock {
+		b.maxClock = clock
+	}
+	b.count++
+	if b.count == b.n {
+		b.results[gen%2] = b.maxClock
+		b.maxClock = 0
+		b.count = 0
+		b.generation++
+		b.cond.Broadcast()
+		return b.results[gen%2]
+	}
+	for gen == b.generation {
+		b.cond.Wait()
+	}
+	return b.results[gen%2]
+}

@@ -1,0 +1,604 @@
+// Package scaffold implements the MetaHipMer scaffolding stage (Algorithm 3
+// and Section III of the paper): read-pair links between contigs are
+// aggregated into a contig graph, the graph is partitioned into connected
+// components to expose parallelism, each component is traversed with the
+// paper's heuristics (longest-seed-first, extendable ends, repeat
+// suspension, and the ribosomal/HMM-hit rule), and the remaining gaps are
+// closed with a load-balanced per-gap phase.
+package scaffold
+
+import (
+	"fmt"
+	"sort"
+
+	"mhmgo/internal/aligner"
+	"mhmgo/internal/cc"
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/dht"
+	"mhmgo/internal/hmm"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// Options controls scaffolding.
+type Options struct {
+	// K is the assembly k-mer size (used for overlap detection in gap
+	// closing).
+	K int
+	// InsertSize and InsertStd describe the paired-end library.
+	InsertSize int
+	InsertStd  int
+	// MinLinkSupport is the number of read pairs (or splinting reads) needed
+	// to accept a link between two contig ends.
+	MinLinkSupport int
+	// LongContigThreshold classifies contigs as "long"/confident traversal
+	// seeds.
+	LongContigThreshold int
+	// RRNAProfile, when non-nil, marks contigs matching the profile as HMM
+	// hits whose ends stay extendable despite competing links.
+	RRNAProfile   *hmm.Profile
+	RRNAThreshold float64
+	// CloseGaps enables gap closing (otherwise gaps are filled with Ns).
+	CloseGaps bool
+	// MinGapOverlap is the minimum exact overlap between neighbouring contig
+	// ends for a gap to be spliced closed.
+	MinGapOverlap int
+	// Aggregate controls DHT update aggregation (for ablations).
+	Aggregate bool
+	// UseComponents partitions traversal by connected components (the
+	// paper's parallelization); false serializes traversal on rank 0 (for
+	// the ablation study).
+	UseComponents bool
+}
+
+// DefaultOptions returns scaffolding defaults for assembly k and library
+// insert size.
+func DefaultOptions(k, insertSize int) Options {
+	return Options{
+		K:                   k,
+		InsertSize:          insertSize,
+		InsertStd:           insertSize / 10,
+		MinLinkSupport:      2,
+		LongContigThreshold: 3 * insertSize / 2,
+		RRNAThreshold:       0.5,
+		CloseGaps:           true,
+		MinGapOverlap:       k - 1,
+		Aggregate:           true,
+		UseComponents:       true,
+	}
+}
+
+// Scaffold is an ordered, oriented chain of contigs with its final sequence.
+type Scaffold struct {
+	ID         int
+	Seq        []byte
+	ContigIDs  []int
+	Gaps       int
+	GapsClosed int
+}
+
+// Len returns the scaffold length in bases.
+func (s Scaffold) Len() int { return len(s.Seq) }
+
+// Result reports the outcome of scaffolding.
+type Result struct {
+	Scaffolds        []Scaffold
+	SplintLinks      int
+	SpanLinks        int
+	AcceptedLinks    int
+	RepeatsSuspended int
+	Components       int
+	RRNAHits         int
+	GapsTotal        int
+	GapsClosed       int
+}
+
+// linkKey identifies an (unordered) pair of contig ends.
+type linkKey struct {
+	C1, C2     int
+	End1, End2 byte
+}
+
+// linkAgg accumulates the evidence for one link.
+type linkAgg struct {
+	Count   int
+	GapSum  int
+	Splints int
+}
+
+// linkInfo is an accepted edge of the contig graph.
+type linkInfo struct {
+	Other    int
+	MyEnd    byte
+	OtherEnd byte
+	Gap      int
+	Support  int
+}
+
+func linkHash(k linkKey) uint64 {
+	x := uint64(k.C1)*0x9e3779b97f4a7c15 ^ uint64(k.C2)*0xc2b2ae3d27d4eb4f ^ uint64(k.End1)<<8 ^ uint64(k.End2)
+	x ^= x >> 31
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return x
+}
+
+func normalizeKey(c1 int, e1 byte, c2 int, e2 byte) linkKey {
+	if c1 < c2 || (c1 == c2 && e1 <= e2) {
+		return linkKey{C1: c1, C2: c2, End1: e1, End2: e2}
+	}
+	return linkKey{C1: c2, C2: c1, End1: e2, End2: e1}
+}
+
+// endAndDistance derives, for one aligned read of an innie pair, which end
+// of the contig the rest of the fragment extends past and how far the read
+// start is from that end.
+func endAndDistance(a aligner.Alignment, contigLen int) (end byte, dist int) {
+	if !a.Reverse {
+		// The read points right: its mate lies beyond the contig's right end.
+		return 'R', contigLen - a.ContigPos
+	}
+	return 'L', a.ContigPos + a.AlignLen
+}
+
+// Run performs scaffolding. Collective: every rank passes its local reads
+// (distributed in whole pairs) and their alignments; every rank returns the
+// same Result.
+func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, alignments []aligner.Alignment, opts Options) Result {
+	if opts.InsertSize <= 0 {
+		opts.InsertSize = 300
+	}
+	if opts.MinLinkSupport <= 0 {
+		opts.MinLinkSupport = 2
+	}
+	if opts.LongContigThreshold <= 0 {
+		opts.LongContigThreshold = 3 * opts.InsertSize / 2
+	}
+	if opts.MinGapOverlap <= 0 {
+		opts.MinGapOverlap = 15
+	}
+
+	byID := make(map[int]int, len(contigs))
+	for i, c := range contigs {
+		byID[c.ID] = i
+	}
+
+	var res Result
+
+	// Step 1: link generation. Pair up the local alignments by read pair and
+	// store splint/span evidence in a distributed hash table keyed by the
+	// contig-end pair (Global Update-Only phase).
+	linkTable := dht.NewMapCollective[linkKey, linkAgg](r, linkHash, 40)
+	combine := func(existing, update linkAgg, found bool) linkAgg {
+		existing.Count += update.Count
+		existing.GapSum += update.GapSum
+		existing.Splints += update.Splints
+		return existing
+	}
+	u := linkTable.NewUpdater(r, combine, 256, opts.Aggregate)
+
+	alignByRead := make(map[int]aligner.Alignment, len(alignments))
+	for _, a := range alignments {
+		alignByRead[a.ReadIdx] = a
+	}
+	splintsLocal, spansLocal := 0, 0
+	for _, a := range alignments {
+		if a.ReadIdx%2 != 0 {
+			continue // handle each pair once, from its even member
+		}
+		mate, ok := alignByRead[a.ReadIdx+1]
+		if !ok || mate.ContigID == a.ContigID {
+			continue
+		}
+		ci1, ok1 := byID[a.ContigID]
+		ci2, ok2 := byID[mate.ContigID]
+		if !ok1 || !ok2 {
+			continue
+		}
+		end1, d1 := endAndDistance(a, len(contigs[ci1].Seq))
+		end2, d2 := endAndDistance(mate, len(contigs[ci2].Seq))
+		gap := opts.InsertSize - d1 - d2
+		if gap > opts.InsertSize {
+			continue
+		}
+		agg := linkAgg{Count: 1, GapSum: gap}
+		if gap <= 0 {
+			agg.Splints = 1
+			splintsLocal++
+		} else {
+			spansLocal++
+		}
+		u.Update(normalizeKey(a.ContigID, end1, mate.ContigID, end2), agg)
+		r.Compute(2)
+	}
+	u.Flush()
+	r.Barrier()
+
+	// Step 2: assess links locally on their owner ranks (Local Reads &
+	// Writes phase) and gather the accepted edges everywhere.
+	type acceptedLink struct {
+		Key linkKey
+		Gap int
+		Sup int
+	}
+	var localAccepted []acceptedLink
+	linkTable.ForEachLocal(r, func(k linkKey, agg linkAgg) {
+		if agg.Count < opts.MinLinkSupport {
+			return
+		}
+		localAccepted = append(localAccepted, acceptedLink{Key: k, Gap: agg.GapSum / agg.Count, Sup: agg.Count})
+	})
+	allAccepted := pgas.Gather(r, localAccepted)
+	adj := make(map[int][]linkInfo)
+	accepted := 0
+	for _, batch := range allAccepted {
+		for _, al := range batch {
+			accepted++
+			adj[al.Key.C1] = append(adj[al.Key.C1], linkInfo{Other: al.Key.C2, MyEnd: al.Key.End1, OtherEnd: al.Key.End2, Gap: al.Gap, Support: al.Sup})
+			adj[al.Key.C2] = append(adj[al.Key.C2], linkInfo{Other: al.Key.C1, MyEnd: al.Key.End2, OtherEnd: al.Key.End1, Gap: al.Gap, Support: al.Sup})
+		}
+	}
+	for id := range adj {
+		links := adj[id]
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].Support != links[j].Support {
+				return links[i].Support > links[j].Support
+			}
+			if links[i].Other != links[j].Other {
+				return links[i].Other < links[j].Other
+			}
+			return links[i].MyEnd < links[j].MyEnd
+		})
+		adj[id] = links
+	}
+	res.SplintLinks = int(r.AllReduceInt64(int64(splintsLocal), pgas.ReduceSum))
+	res.SpanLinks = int(r.AllReduceInt64(int64(spansLocal), pgas.ReduceSum))
+	res.AcceptedLinks = accepted
+
+	// Step 3: identify HMM (rRNA) hits and repeats to suspend.
+	hmmHit := make(map[int]bool)
+	if opts.RRNAProfile != nil {
+		lo, hi := r.BlockRange(len(contigs))
+		var localHits []int
+		for i := lo; i < hi; i++ {
+			if opts.RRNAProfile.IsHit(contigs[i].Seq, opts.RRNAThreshold) {
+				localHits = append(localHits, contigs[i].ID)
+			}
+			r.Compute(float64(len(contigs[i].Seq)))
+		}
+		for _, batch := range pgas.Gather(r, localHits) {
+			for _, id := range batch {
+				hmmHit[id] = true
+			}
+		}
+	}
+	res.RRNAHits = len(hmmHit)
+
+	suspended := make(map[int]bool)
+	for _, c := range contigs {
+		if len(c.Seq) > opts.InsertSize || hmmHit[c.ID] {
+			continue
+		}
+		if countEndLinks(adj[c.ID], 'L') > 1 && countEndLinks(adj[c.ID], 'R') > 1 {
+			suspended[c.ID] = true
+		}
+	}
+	res.RepeatsSuspended = len(suspended)
+
+	// Step 4: connected components over the accepted links (excluding
+	// suspended repeats), computed with the parallel Shiloach-Vishkin-style
+	// algorithm, then distributed round-robin over ranks for traversal.
+	var edges []cc.Edge
+	for _, batch := range allAccepted {
+		for _, al := range batch {
+			if suspended[al.Key.C1] || suspended[al.Key.C2] {
+				continue
+			}
+			i1, ok1 := byID[al.Key.C1]
+			i2, ok2 := byID[al.Key.C2]
+			if ok1 && ok2 {
+				edges = append(edges, cc.Edge{U: i1, V: i2})
+			}
+		}
+	}
+	lo, hi := r.BlockRange(len(edges))
+	labels := cc.Parallel(r, len(contigs), edges[lo:hi], nil)
+	groups := cc.GroupByComponent(labels)
+	res.Components = len(groups)
+
+	reps := make([]int, 0, len(groups))
+	for rep := range groups {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+
+	// Step 5: traverse each component. Components are assigned to ranks
+	// round-robin; each rank traverses its components independently.
+	tr := &traverser{
+		contigs:   contigs,
+		byID:      byID,
+		adj:       adj,
+		suspended: suspended,
+		hmmHit:    hmmHit,
+		opts:      opts,
+	}
+	var localChains [][]placedContig
+	for gi, rep := range reps {
+		if opts.UseComponents {
+			if gi%r.NRanks() != r.ID() {
+				continue
+			}
+		} else if r.ID() != 0 {
+			continue
+		}
+		members := groups[rep]
+		localChains = append(localChains, tr.traverseComponent(r, members)...)
+	}
+	r.Barrier()
+
+	// Step 6: gap closing, load-balanced round-robin over all gaps; then the
+	// scaffolds are materialized and gathered.
+	localScaffolds, gapsTotal, gapsClosed := buildScaffolds(r, contigs, byID, localChains, opts)
+	allScaffolds := pgas.Gather(r, localScaffolds)
+	var merged []Scaffold
+	for _, batch := range allScaffolds {
+		merged = append(merged, batch...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if len(merged[i].Seq) != len(merged[j].Seq) {
+			return len(merged[i].Seq) > len(merged[j].Seq)
+		}
+		return string(merged[i].Seq) < string(merged[j].Seq)
+	})
+	for i := range merged {
+		merged[i].ID = i
+	}
+	res.Scaffolds = merged
+	res.GapsTotal = int(r.AllReduceInt64(int64(gapsTotal), pgas.ReduceSum))
+	res.GapsClosed = int(r.AllReduceInt64(int64(gapsClosed), pgas.ReduceSum))
+	r.Barrier()
+	return res
+}
+
+func countEndLinks(links []linkInfo, end byte) int {
+	n := 0
+	for _, l := range links {
+		if l.MyEnd == end {
+			n++
+		}
+	}
+	return n
+}
+
+// placedContig is one oriented contig in a scaffold chain, with the gap to
+// the previous contig in the chain.
+type placedContig struct {
+	ContigID  int
+	Flipped   bool
+	GapBefore int
+}
+
+// traverser holds the shared state of the contig-graph traversal heuristics.
+type traverser struct {
+	contigs   []dbg.Contig
+	byID      map[int]int
+	adj       map[int][]linkInfo
+	suspended map[int]bool
+	hmmHit    map[int]bool
+	opts      Options
+}
+
+// traverseComponent traverses one connected component (given by contig
+// indices) and returns the chains formed.
+func (t *traverser) traverseComponent(r *pgas.Rank, members []int) [][]placedContig {
+	// Seeds in order of decreasing length.
+	seeds := append([]int(nil), members...)
+	sort.Slice(seeds, func(i, j int) bool {
+		a, b := t.contigs[seeds[i]], t.contigs[seeds[j]]
+		if len(a.Seq) != len(b.Seq) {
+			return len(a.Seq) > len(b.Seq)
+		}
+		return a.ID < b.ID
+	})
+	used := make(map[int]bool)
+	var chains [][]placedContig
+	for _, idx := range seeds {
+		c := t.contigs[idx]
+		if used[c.ID] || t.suspended[c.ID] {
+			continue
+		}
+		used[c.ID] = true
+		chain := []placedContig{{ContigID: c.ID, Flipped: false}}
+		// Extend to the right, then to the left (by extending the reversed
+		// chain to the right and flipping it back).
+		chain = t.extend(r, chain, used)
+		chain = reverseChain(chain)
+		chain = t.extend(r, chain, used)
+		chain = reverseChain(chain)
+		chains = append(chains, chain)
+		r.Compute(float64(len(chain)))
+	}
+	return chains
+}
+
+// reverseChain flips a chain end-to-end (orientation of every contig flips
+// and gaps shift to the following contig).
+func reverseChain(chain []placedContig) []placedContig {
+	n := len(chain)
+	out := make([]placedContig, n)
+	for i, pc := range chain {
+		out[n-1-i] = placedContig{ContigID: pc.ContigID, Flipped: !pc.Flipped}
+	}
+	// Recompute GapBefore: the gap that used to precede chain[i] now follows
+	// the flipped copy; shift gaps accordingly.
+	for i := 1; i < n; i++ {
+		out[i].GapBefore = chain[n-i].GapBefore
+	}
+	return out
+}
+
+// extend grows the chain from its last contig's outgoing end while an
+// unambiguous, unused continuation exists.
+func (t *traverser) extend(r *pgas.Rank, chain []placedContig, used map[int]bool) []placedContig {
+	for {
+		last := chain[len(chain)-1]
+		outEnd := byte('R')
+		if last.Flipped {
+			outEnd = 'L'
+		}
+		next, ok := t.pickLink(last.ContigID, outEnd, used)
+		if !ok {
+			return chain
+		}
+		used[next.Other] = true
+		// Entering through the partner's end: entering via 'L' keeps it
+		// forward, entering via 'R' flips it.
+		flipped := next.OtherEnd == 'R'
+		chain = append(chain, placedContig{ContigID: next.Other, Flipped: flipped, GapBefore: next.Gap})
+		r.Compute(1)
+	}
+}
+
+// pickLink selects the link to follow from a contig end, applying the
+// paper's heuristics: skip suspended repeats and used contigs, prefer links
+// to long contigs and extendable ends, break ties toward the closest
+// (smallest-gap) partner. HMM-hit contigs remain extendable even with
+// competing links.
+func (t *traverser) pickLink(contigID int, end byte, used map[int]bool) (linkInfo, bool) {
+	var candidates []linkInfo
+	for _, l := range t.adj[contigID] {
+		if l.MyEnd != end {
+			continue
+		}
+		if used[l.Other] || t.suspended[l.Other] {
+			continue
+		}
+		candidates = append(candidates, l)
+	}
+	if len(candidates) == 0 {
+		return linkInfo{}, false
+	}
+	if len(candidates) > 1 && !t.hmmHit[contigID] {
+		// Competing links: the end is not extendable unless the competing
+		// targets include a clearly better (long) contig.
+		long := candidates[:0]
+		for _, l := range candidates {
+			if idx, ok := t.byID[l.Other]; ok && len(t.contigs[idx].Seq) >= t.opts.LongContigThreshold {
+				long = append(long, l)
+			}
+		}
+		if len(long) != 1 {
+			return linkInfo{}, false
+		}
+		candidates = long
+	}
+	best := candidates[0]
+	for _, l := range candidates[1:] {
+		if l.Gap < best.Gap {
+			best = l
+		}
+	}
+	return best, true
+}
+
+// buildScaffolds materializes scaffold sequences from chains, closing gaps
+// where the neighbouring contig ends overlap and filling the rest with Ns.
+// Gaps are distributed round-robin over the ranks that own the chains.
+func buildScaffolds(r *pgas.Rank, contigs []dbg.Contig, byID map[int]int, chains [][]placedContig, opts Options) ([]Scaffold, int, int) {
+	var out []Scaffold
+	gapsTotal, gapsClosed := 0, 0
+	for _, chain := range chains {
+		var sb []byte
+		var ids []int
+		gaps, closed := 0, 0
+		for i, pc := range chain {
+			idx := byID[pc.ContigID]
+			s := contigs[idx].Seq
+			if pc.Flipped {
+				s = seq.ReverseComplement(s)
+			}
+			ids = append(ids, pc.ContigID)
+			if i == 0 {
+				sb = append(sb, s...)
+				continue
+			}
+			gaps++
+			if opts.CloseGaps {
+				if joined, ok := spliceOverlap(sb, s, opts.MinGapOverlap, opts.InsertSize); ok {
+					sb = joined
+					closed++
+					r.Compute(float64(opts.InsertSize))
+					continue
+				}
+			}
+			gapLen := pc.GapBefore
+			if gapLen < 1 {
+				gapLen = 1
+			}
+			for g := 0; g < gapLen; g++ {
+				sb = append(sb, 'N')
+			}
+			sb = append(sb, s...)
+			r.Compute(float64(len(s)))
+		}
+		gapsTotal += gaps
+		gapsClosed += closed
+		out = append(out, Scaffold{Seq: sb, ContigIDs: ids, Gaps: gaps - closed, GapsClosed: closed})
+	}
+	return out, gapsTotal, gapsClosed
+}
+
+// spliceOverlap joins two sequences if the suffix of a exactly matches a
+// prefix of b with length >= minOverlap (searching up to maxOverlap).
+func spliceOverlap(a, b []byte, minOverlap, maxOverlap int) ([]byte, bool) {
+	if maxOverlap > len(a) {
+		maxOverlap = len(a)
+	}
+	if maxOverlap > len(b) {
+		maxOverlap = len(b)
+	}
+	for ov := maxOverlap; ov >= minOverlap; ov-- {
+		if string(a[len(a)-ov:]) == string(b[:ov]) {
+			return append(a, b[ov:]...), true
+		}
+	}
+	return nil, false
+}
+
+// Stats summarizes a scaffold set.
+type Stats struct {
+	Count      int
+	TotalBases int
+	MaxLen     int
+	N50        int
+}
+
+// ComputeStats returns scaffold summary statistics.
+func ComputeStats(scaffolds []Scaffold) Stats {
+	var s Stats
+	s.Count = len(scaffolds)
+	lengths := make([]int, 0, len(scaffolds))
+	for _, sc := range scaffolds {
+		s.TotalBases += sc.Len()
+		if sc.Len() > s.MaxLen {
+			s.MaxLen = sc.Len()
+		}
+		lengths = append(lengths, sc.Len())
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	half := s.TotalBases / 2
+	acc := 0
+	for _, l := range lengths {
+		acc += l
+		if acc >= half {
+			s.N50 = l
+			break
+		}
+	}
+	return s
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("scaffolds=%d bases=%d max=%d N50=%d", s.Count, s.TotalBases, s.MaxLen, s.N50)
+}

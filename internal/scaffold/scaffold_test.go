@@ -1,0 +1,247 @@
+package scaffold
+
+import (
+	"strings"
+	"testing"
+
+	"mhmgo/internal/aligner"
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/hmm"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+	"mhmgo/internal/sim"
+)
+
+// makePairs produces innie paired-end reads tiling a genome.
+func makePairs(g string, readLen, insert, step int) []seq.Read {
+	var reads []seq.Read
+	for start := 0; start+insert <= len(g); start += step {
+		fwd := g[start : start+readLen]
+		rev := seq.ReverseComplementString(g[start+insert-readLen : start+insert])
+		reads = append(reads,
+			seq.Read{ID: "p/1", Seq: []byte(fwd)},
+			seq.Read{ID: "p/2", Seq: []byte(rev)},
+		)
+	}
+	return reads
+}
+
+func runScaffold(t *testing.T, contigs []dbg.Contig, reads []seq.Read, ranks int, opts Options) Result {
+	t.Helper()
+	m := pgas.NewMachine(pgas.Config{Ranks: ranks})
+	aopts := aligner.DefaultOptions(15)
+	var res Result
+	m.Run(func(r *pgas.Rank) {
+		idx := aligner.BuildIndex(r, contigs, aopts)
+		lo, hi := r.PairBlockRange(len(reads))
+		aligns, _ := aligner.AlignReads(r, idx, reads[lo:hi], lo, aopts)
+		got := Run(r, contigs, reads[lo:hi], lo, aligns, opts)
+		if r.ID() == 0 {
+			res = got
+		}
+	})
+	return res
+}
+
+// testGenome is long enough for several contigs and an insert of 60.
+func testGenome() string {
+	comm := sim.GenerateCommunity(sim.CommunityConfig{NumGenomes: 1, MeanGenomeLen: 900, RRNALen: 100, Seed: 77, StrainFraction: 0})
+	return string(comm.Genomes[0].Seq)
+}
+
+func TestSpanLinksJoinNeighboringContigs(t *testing.T) {
+	g := testGenome()
+	// Two contigs covering the genome with a 20-base gap between them.
+	c0 := dbg.Contig{ID: 0, Seq: []byte(g[0:400]), Depth: 20}
+	c1 := dbg.Contig{ID: 1, Seq: []byte(g[420:820]), Depth: 20}
+	reads := makePairs(g, 40, 100, 3)
+	opts := DefaultOptions(15, 100)
+	opts.CloseGaps = false
+	res := runScaffold(t, []dbg.Contig{c0, c1}, reads, 3, opts)
+	if res.SpanLinks == 0 {
+		t.Fatalf("no span links found: %+v", res)
+	}
+	if len(res.Scaffolds) != 1 {
+		t.Fatalf("got %d scaffolds, want 1 joined scaffold", len(res.Scaffolds))
+	}
+	sc := res.Scaffolds[0]
+	if len(sc.ContigIDs) != 2 {
+		t.Fatalf("scaffold contains %v contigs", sc.ContigIDs)
+	}
+	if !strings.Contains(string(sc.Seq), "N") {
+		t.Error("unclosed gap should be filled with Ns")
+	}
+	if sc.Gaps != 1 {
+		t.Errorf("Gaps = %d, want 1", sc.Gaps)
+	}
+	// The scaffold must be roughly the genome length.
+	if sc.Len() < 780 || sc.Len() > 860 {
+		t.Errorf("scaffold length %d, expected near 820", sc.Len())
+	}
+}
+
+func TestGapClosingSplicesOverlappingContigs(t *testing.T) {
+	g := testGenome()
+	// Two contigs overlapping by 30 bases: gap closing should splice them.
+	c0 := dbg.Contig{ID: 0, Seq: []byte(g[0:430]), Depth: 20}
+	c1 := dbg.Contig{ID: 1, Seq: []byte(g[400:820]), Depth: 20}
+	reads := makePairs(g, 40, 100, 3)
+	opts := DefaultOptions(15, 100)
+	res := runScaffold(t, []dbg.Contig{c0, c1}, reads, 2, opts)
+	if len(res.Scaffolds) != 1 {
+		t.Fatalf("got %d scaffolds, want 1", len(res.Scaffolds))
+	}
+	sc := res.Scaffolds[0]
+	if res.GapsClosed != 1 || sc.GapsClosed != 1 {
+		t.Errorf("gap was not closed: %+v", res)
+	}
+	got := string(sc.Seq)
+	want := g[0:820]
+	if got != want && got != seq.ReverseComplementString(want) {
+		t.Errorf("spliced scaffold (len %d) does not reconstruct the genome segment (len %d)", len(got), len(want))
+	}
+}
+
+func TestReverseOrientedContigIsFlipped(t *testing.T) {
+	g := testGenome()
+	c0 := dbg.Contig{ID: 0, Seq: []byte(g[0:400]), Depth: 20}
+	// The second contig is stored reverse-complemented.
+	c1 := dbg.Contig{ID: 1, Seq: seq.ReverseComplement([]byte(g[420:820])), Depth: 20}
+	reads := makePairs(g, 40, 100, 3)
+	opts := DefaultOptions(15, 100)
+	opts.CloseGaps = false
+	res := runScaffold(t, []dbg.Contig{c0, c1}, reads, 2, opts)
+	if len(res.Scaffolds) != 1 || len(res.Scaffolds[0].ContigIDs) != 2 {
+		t.Fatalf("reverse-oriented contig not scaffolded: %+v", summarize(res))
+	}
+	// The scaffold with Ns removed must match the genome with the gap cut out.
+	noN := strings.ReplaceAll(string(res.Scaffolds[0].Seq), "N", "")
+	want := g[0:400] + g[420:820]
+	if noN != want && noN != seq.ReverseComplementString(want) {
+		t.Error("flipped contig not correctly oriented in scaffold")
+	}
+}
+
+func summarize(res Result) []string {
+	var out []string
+	for _, s := range res.Scaffolds {
+		out = append(out, string(rune('0'+len(s.ContigIDs))))
+	}
+	return out
+}
+
+func TestWeakLinksRejected(t *testing.T) {
+	g := testGenome()
+	c0 := dbg.Contig{ID: 0, Seq: []byte(g[0:400]), Depth: 20}
+	c1 := dbg.Contig{ID: 1, Seq: []byte(g[420:820]), Depth: 20}
+	// Very sparse read sampling: too few pairs to support a link.
+	reads := makePairs(g, 40, 100, 400)
+	opts := DefaultOptions(15, 100)
+	opts.MinLinkSupport = 10
+	res := runScaffold(t, []dbg.Contig{c0, c1}, reads, 2, opts)
+	if res.AcceptedLinks != 0 {
+		t.Errorf("weak links were accepted: %+v", res)
+	}
+	if len(res.Scaffolds) != 2 {
+		t.Errorf("contigs should remain separate scaffolds, got %d", len(res.Scaffolds))
+	}
+}
+
+func TestRepeatSuspension(t *testing.T) {
+	g1 := testGenome()
+	comm2 := sim.GenerateCommunity(sim.CommunityConfig{NumGenomes: 1, MeanGenomeLen: 900, RRNALen: 100, Seed: 99, StrainFraction: 0})
+	g2 := string(comm2.Genomes[0].Seq)
+	// A short shared repeat sits between unique flanks in two genomes.
+	repeat := g1[350:420]
+	gen1 := g1[0:350] + repeat + g1[420:800]
+	gen2 := g2[0:350] + repeat + g2[420:800]
+	contigs := []dbg.Contig{
+		{ID: 0, Seq: []byte(gen1[0:350]), Depth: 20},
+		{ID: 1, Seq: []byte(repeat), Depth: 40},
+		{ID: 2, Seq: []byte(gen1[420:800]), Depth: 20},
+		{ID: 3, Seq: []byte(gen2[0:350]), Depth: 20},
+		{ID: 4, Seq: []byte(gen2[420:800]), Depth: 20},
+	}
+	reads := append(makePairs(gen1, 40, 100, 3), makePairs(gen2, 40, 100, 3)...)
+	opts := DefaultOptions(15, 100)
+	opts.CloseGaps = false
+	res := runScaffold(t, contigs, reads, 4, opts)
+	if res.RepeatsSuspended < 1 {
+		t.Errorf("repeat contig not suspended: %+v", res)
+	}
+	// The repeat must not glue the two genomes into one scaffold.
+	for _, sc := range res.Scaffolds {
+		has1, has2 := false, false
+		for _, id := range sc.ContigIDs {
+			if id == 0 || id == 2 {
+				has1 = true
+			}
+			if id == 3 || id == 4 {
+				has2 = true
+			}
+		}
+		if has1 && has2 {
+			t.Errorf("scaffold mixes the two genomes: %v", sc.ContigIDs)
+		}
+	}
+}
+
+func TestRRNAHitsCounted(t *testing.T) {
+	comm := sim.GenerateCommunity(sim.CommunityConfig{NumGenomes: 2, MeanGenomeLen: 900, RRNALen: 150, RRNADivergence: 0.0, Seed: 13, StrainFraction: 0})
+	profile := hmm.BuildProfile([][]byte{comm.RRNAMarker}, 0.9)
+	g := string(comm.Genomes[0].Seq)
+	contigs := []dbg.Contig{
+		{ID: 0, Seq: comm.Genomes[0].Seq, Depth: 20},
+		{ID: 1, Seq: []byte(g[:200]), Depth: 20},
+	}
+	reads := makePairs(g, 40, 100, 5)
+	opts := DefaultOptions(15, 100)
+	opts.RRNAProfile = profile
+	res := runScaffold(t, contigs, reads, 2, opts)
+	if res.RRNAHits < 1 {
+		t.Errorf("rRNA-bearing contig not counted as HMM hit: %+v", res)
+	}
+}
+
+func TestScaffoldRankIndependence(t *testing.T) {
+	g := testGenome()
+	contigs := []dbg.Contig{
+		{ID: 0, Seq: []byte(g[0:300]), Depth: 20},
+		{ID: 1, Seq: []byte(g[320:600]), Depth: 20},
+		{ID: 2, Seq: []byte(g[620:850]), Depth: 20},
+	}
+	reads := makePairs(g, 40, 100, 3)
+	opts := DefaultOptions(15, 100)
+	base := runScaffold(t, contigs, reads, 1, opts)
+	for _, ranks := range []int{2, 4, 6} {
+		got := runScaffold(t, contigs, reads, ranks, opts)
+		if len(got.Scaffolds) != len(base.Scaffolds) {
+			t.Fatalf("ranks=%d: %d scaffolds vs %d", ranks, len(got.Scaffolds), len(base.Scaffolds))
+		}
+		for i := range got.Scaffolds {
+			if string(got.Scaffolds[i].Seq) != string(base.Scaffolds[i].Seq) {
+				t.Errorf("ranks=%d: scaffold %d differs", ranks, i)
+			}
+		}
+	}
+}
+
+func TestComputeStatsAndSplice(t *testing.T) {
+	s := ComputeStats([]Scaffold{{Seq: make([]byte, 200)}, {Seq: make([]byte, 100)}})
+	if s.Count != 2 || s.TotalBases != 300 || s.N50 != 200 || s.MaxLen != 200 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "N50=200") {
+		t.Errorf("String() = %q", s.String())
+	}
+	if _, ok := spliceOverlap([]byte("AAACGT"), []byte("ACGTTT"), 3, 10); !ok {
+		t.Error("overlap of 4 should splice")
+	}
+	if _, ok := spliceOverlap([]byte("AAACGT"), []byte("GGGTTT"), 3, 10); ok {
+		t.Error("non-overlapping sequences should not splice")
+	}
+	joined, _ := spliceOverlap([]byte("AAACGT"), []byte("ACGTTT"), 3, 10)
+	if string(joined) != "AAACGTTT" {
+		t.Errorf("splice = %q", joined)
+	}
+}

@@ -1,0 +1,205 @@
+// Package seq provides the DNA sequence primitives used throughout the
+// assembler: 2-bit base codes, packed k-mers (k <= 64), reverse complements,
+// canonical forms, reads and read pairs, and extension bookkeeping.
+//
+// Every higher-level module (k-mer analysis, de Bruijn graph traversal,
+// alignment, local assembly, scaffolding) is built on these types, so they
+// are designed to be small, allocation-free values that are safe to use as
+// map keys and to send between virtual ranks.
+package seq
+
+import "fmt"
+
+// Base codes. DNA bases are packed two bits per base.
+const (
+	BaseA = 0
+	BaseC = 1
+	BaseG = 2
+	BaseT = 3
+)
+
+// baseChars maps a 2-bit base code to its ASCII character.
+var baseChars = [4]byte{'A', 'C', 'G', 'T'}
+
+// baseCodes maps an ASCII character to its 2-bit code, or 0xFF if the
+// character is not one of ACGT (upper or lower case).
+var baseCodes [256]byte
+
+func init() {
+	for i := range baseCodes {
+		baseCodes[i] = 0xFF
+	}
+	baseCodes['A'], baseCodes['a'] = BaseA, BaseA
+	baseCodes['C'], baseCodes['c'] = BaseC, BaseC
+	baseCodes['G'], baseCodes['g'] = BaseG, BaseG
+	baseCodes['T'], baseCodes['t'] = BaseT, BaseT
+}
+
+// BaseToChar returns the ASCII character for a 2-bit base code.
+func BaseToChar(code byte) byte { return baseChars[code&3] }
+
+// CharToBase returns the 2-bit code for an ASCII base character and whether
+// the character was a valid unambiguous base.
+func CharToBase(c byte) (byte, bool) {
+	code := baseCodes[c]
+	return code, code != 0xFF
+}
+
+// ComplementCode returns the 2-bit code of the complementary base.
+func ComplementCode(code byte) byte { return 3 - (code & 3) }
+
+// ComplementChar returns the complementary base character, preserving only
+// upper-case output. Non-ACGT characters map to 'N'.
+func ComplementChar(c byte) byte {
+	code, ok := CharToBase(c)
+	if !ok {
+		return 'N'
+	}
+	return BaseToChar(ComplementCode(code))
+}
+
+// ReverseComplement returns the reverse complement of a DNA sequence given
+// as ASCII bases. Non-ACGT characters are preserved as 'N'.
+func ReverseComplement(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = ComplementChar(c)
+	}
+	return out
+}
+
+// ReverseComplementString is a convenience wrapper around ReverseComplement.
+func ReverseComplementString(s string) string {
+	return string(ReverseComplement([]byte(s)))
+}
+
+// ValidBases reports whether every character in s is an unambiguous base.
+func ValidBases(s []byte) bool {
+	for _, c := range s {
+		if _, ok := CharToBase(c); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CountValidBases returns the number of unambiguous bases in s.
+func CountValidBases(s []byte) int {
+	n := 0
+	for _, c := range s {
+		if _, ok := CharToBase(c); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// GCContent returns the fraction of G or C bases among the valid bases of s.
+// It returns 0 for sequences with no valid bases.
+func GCContent(s []byte) float64 {
+	gc, n := 0, 0
+	for _, c := range s {
+		code, ok := CharToBase(c)
+		if !ok {
+			continue
+		}
+		n++
+		if code == BaseC || code == BaseG {
+			gc++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(gc) / float64(n)
+}
+
+// Read is a single sequencing read: an identifier, a nucleotide sequence and
+// an optional per-base quality string (Phred+33).
+type Read struct {
+	ID   string
+	Seq  []byte
+	Qual []byte
+}
+
+// Len returns the read length in bases.
+func (r *Read) Len() int { return len(r.Seq) }
+
+// Validate checks internal consistency of the read.
+func (r *Read) Validate() error {
+	if len(r.Seq) == 0 {
+		return fmt.Errorf("seq: read %q has empty sequence", r.ID)
+	}
+	if len(r.Qual) != 0 && len(r.Qual) != len(r.Seq) {
+		return fmt.Errorf("seq: read %q quality length %d != sequence length %d",
+			r.ID, len(r.Qual), len(r.Seq))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the read.
+func (r *Read) Clone() Read {
+	c := Read{ID: r.ID}
+	c.Seq = append([]byte(nil), r.Seq...)
+	c.Qual = append([]byte(nil), r.Qual...)
+	return c
+}
+
+// ReadPair is a paired-end read: two reads sequenced from the two ends of the
+// same DNA fragment, separated by the library insert size.
+type ReadPair struct {
+	Fwd Read
+	Rev Read
+}
+
+// Library describes a paired-end read library.
+type Library struct {
+	Name       string
+	ReadLen    int
+	InsertSize int
+	InsertStd  int
+}
+
+// QualToProb converts a Phred+33 quality character into an error probability.
+func QualToProb(q byte) float64 {
+	phred := int(q) - 33
+	if phred < 0 {
+		phred = 0
+	}
+	p := 1.0
+	for i := 0; i < phred; i++ {
+		p *= 0.7943282347242815 // 10^(-0.1)
+	}
+	return p
+}
+
+// ProbToQual converts an error probability into a Phred+33 quality character,
+// clamped to the printable range used by Illumina ('!'..'I').
+func ProbToQual(p float64) byte {
+	if p <= 0 {
+		return 'I'
+	}
+	phred := 0
+	q := 1.0
+	for q > p && phred < 40 {
+		q *= 0.7943282347242815
+		phred++
+	}
+	if phred > 40 {
+		phred = 40
+	}
+	return byte(33 + phred)
+}
+
+// MeanDepthFromCounts returns the arithmetic mean of a slice of k-mer counts,
+// used as the depth of a contig assembled from those k-mers.
+func MeanDepthFromCounts(counts []uint32) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += float64(c)
+	}
+	return sum / float64(len(counts))
+}

@@ -1,0 +1,256 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCharToBaseRoundTrip(t *testing.T) {
+	for code := byte(0); code < 4; code++ {
+		c := BaseToChar(code)
+		got, ok := CharToBase(c)
+		if !ok || got != code {
+			t.Errorf("CharToBase(BaseToChar(%d)) = %d,%v", code, got, ok)
+		}
+	}
+	lower := []byte{'a', 'c', 'g', 't'}
+	for i, c := range lower {
+		got, ok := CharToBase(c)
+		if !ok || got != byte(i) {
+			t.Errorf("CharToBase(%q) = %d,%v, want %d,true", c, got, ok, i)
+		}
+	}
+	if _, ok := CharToBase('N'); ok {
+		t.Error("N should not be a valid base")
+	}
+	if _, ok := CharToBase('x'); ok {
+		t.Error("x should not be a valid base")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pairs := map[byte]byte{'A': 'T', 'C': 'G', 'G': 'C', 'T': 'A', 'N': 'N'}
+	for in, want := range pairs {
+		if got := ComplementChar(in); got != want {
+			t.Errorf("ComplementChar(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for code := byte(0); code < 4; code++ {
+		if ComplementCode(ComplementCode(code)) != code {
+			t.Errorf("complement is not an involution for code %d", code)
+		}
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	cases := map[string]string{
+		"":       "",
+		"A":      "T",
+		"ACGT":   "ACGT",
+		"AAACCC": "GGGTTT",
+		"ACGNT":  "ANCGT",
+	}
+	for in, want := range cases {
+		if got := ReverseComplementString(in); got != want {
+			t.Errorf("ReverseComplementString(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReverseComplementInvolutionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw) % 200
+		s := []byte(randomSeq(r, n))
+		return string(ReverseComplement(ReverseComplement(s))) == string(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidBases(t *testing.T) {
+	if !ValidBases([]byte("ACGTacgt")) {
+		t.Error("ACGTacgt should be valid")
+	}
+	if ValidBases([]byte("ACGN")) {
+		t.Error("ACGN should be invalid")
+	}
+	if CountValidBases([]byte("ANCNG")) != 3 {
+		t.Error("CountValidBases(ANCNG) != 3")
+	}
+}
+
+func TestGCContent(t *testing.T) {
+	if got := GCContent([]byte("GGCC")); got != 1.0 {
+		t.Errorf("GCContent(GGCC) = %v, want 1", got)
+	}
+	if got := GCContent([]byte("AATT")); got != 0.0 {
+		t.Errorf("GCContent(AATT) = %v, want 0", got)
+	}
+	if got := GCContent([]byte("ACGT")); got != 0.5 {
+		t.Errorf("GCContent(ACGT) = %v, want 0.5", got)
+	}
+	if got := GCContent([]byte("NNNN")); got != 0.0 {
+		t.Errorf("GCContent(NNNN) = %v, want 0", got)
+	}
+}
+
+func TestReadValidate(t *testing.T) {
+	r := Read{ID: "r1", Seq: []byte("ACGT"), Qual: []byte("IIII")}
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid read rejected: %v", err)
+	}
+	bad := Read{ID: "r2", Seq: []byte("ACGT"), Qual: []byte("II")}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched quality length should be rejected")
+	}
+	empty := Read{ID: "r3"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty read should be rejected")
+	}
+}
+
+func TestReadClone(t *testing.T) {
+	r := Read{ID: "r1", Seq: []byte("ACGT"), Qual: []byte("IIII")}
+	c := r.Clone()
+	c.Seq[0] = 'T'
+	if r.Seq[0] != 'A' {
+		t.Error("Clone did not deep-copy the sequence")
+	}
+}
+
+func TestQualConversions(t *testing.T) {
+	if p := QualToProb('I'); p > 0.001 {
+		t.Errorf("QualToProb('I') = %v, want <= 0.001", p)
+	}
+	if p := QualToProb('!'); p != 1.0 {
+		t.Errorf("QualToProb('!') = %v, want 1", p)
+	}
+	if q := ProbToQual(1.0); q != '!' {
+		t.Errorf("ProbToQual(1) = %q, want '!'", q)
+	}
+	if q := ProbToQual(0); q != 'I' {
+		t.Errorf("ProbToQual(0) = %q, want 'I'", q)
+	}
+	// Round trip should be monotone: lower probability, higher quality.
+	if ProbToQual(0.01) <= ProbToQual(0.5) {
+		t.Error("ProbToQual is not monotone")
+	}
+}
+
+func TestMeanDepthFromCounts(t *testing.T) {
+	if got := MeanDepthFromCounts(nil); got != 0 {
+		t.Errorf("mean of empty = %v", got)
+	}
+	if got := MeanDepthFromCounts([]uint32{2, 4, 6}); got != 4 {
+		t.Errorf("mean = %v, want 4", got)
+	}
+}
+
+func TestExtCountsClassify(t *testing.T) {
+	var e ExtCounts
+	if got := e.Classify(1, 2); got != ExtNone {
+		t.Errorf("empty counts classify = %q, want X", got)
+	}
+	e.AddN(BaseA, 10)
+	if got := e.Classify(1, 2); got != 'A' {
+		t.Errorf("unique extension classify = %q, want A", got)
+	}
+	e.AddN(BaseC, 5)
+	if got := e.Classify(1, 2); got != ExtFork {
+		t.Errorf("contested extension classify = %q, want F", got)
+	}
+	// With a larger threshold the contradiction is tolerated.
+	if got := e.Classify(1, 5); got != 'A' {
+		t.Errorf("tolerant classify = %q, want A", got)
+	}
+	// Below the minimum count nothing is called.
+	var weak ExtCounts
+	weak.Add(BaseG)
+	if got := weak.Classify(2, 2); got != ExtNone {
+		t.Errorf("weak classify = %q, want X", got)
+	}
+}
+
+func TestExtCountsBestAndMerge(t *testing.T) {
+	var a, b ExtCounts
+	a.AddN(BaseA, 3)
+	a.AddN(BaseG, 1)
+	b.AddN(BaseG, 4)
+	a.Merge(b)
+	code, best, second := a.Best()
+	if code != BaseG || best != 5 || second != 3 {
+		t.Errorf("Best = %d,%d,%d, want G,5,3", code, best, second)
+	}
+	if a.Total() != 8 {
+		t.Errorf("Total = %d, want 8", a.Total())
+	}
+}
+
+func TestExtPairSwap(t *testing.T) {
+	p := ExtPair{Left: 'A', Right: 'G'}
+	s := p.Swap()
+	if s.Left != 'C' || s.Right != 'T' {
+		t.Errorf("Swap = %v, want {C T}", s)
+	}
+	f := ExtPair{Left: ExtFork, Right: ExtNone}
+	s = f.Swap()
+	if s.Left != ExtNone || s.Right != ExtFork {
+		t.Errorf("Swap of markers = %v, want {X F}", s)
+	}
+	if p.String() != "AG" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestKmerCountObserve(t *testing.T) {
+	km := MustKmer("ACG")
+	kc := KmerCount{Kmer: km}
+	kc.Observe(BaseT, BaseA, true, true, false)
+	if kc.Count != 1 || kc.Left[BaseT] != 1 || kc.Right[BaseA] != 1 {
+		t.Errorf("forward observe wrong: %+v", kc)
+	}
+	// Reverse-complement observation: neighbours swap sides and complement.
+	kc.Observe(BaseT, BaseA, true, true, true)
+	if kc.Left[BaseT] != 2 || kc.Right[BaseA] != 2 {
+		t.Errorf("rc observe wrong: %+v", kc)
+	}
+	// Missing neighbours are not recorded.
+	kc.Observe(BaseC, BaseC, false, false, false)
+	if kc.Count != 3 || kc.Left.Total() != 2 || kc.Right.Total() != 2 {
+		t.Errorf("missing-neighbour observe wrong: %+v", kc)
+	}
+}
+
+func TestKmerCountMerge(t *testing.T) {
+	km := MustKmer("ACG")
+	a := KmerCount{Kmer: km, Count: 2}
+	a.Left.AddN(BaseA, 2)
+	b := KmerCount{Kmer: km, Count: 3}
+	b.Right.AddN(BaseT, 3)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 5 || a.Left[BaseA] != 2 || a.Right[BaseT] != 3 {
+		t.Errorf("merge wrong: %+v", a)
+	}
+	other := KmerCount{Kmer: MustKmer("TTT")}
+	if err := a.Merge(other); err == nil {
+		t.Error("merging different k-mers should fail")
+	}
+}
+
+func TestIsBaseExt(t *testing.T) {
+	for _, c := range []byte{'A', 'C', 'G', 'T'} {
+		if !IsBaseExt(c) {
+			t.Errorf("IsBaseExt(%q) = false", c)
+		}
+	}
+	for _, c := range []byte{ExtFork, ExtNone, 'n'} {
+		if IsBaseExt(c) {
+			t.Errorf("IsBaseExt(%q) = true", c)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package seq
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxK is the largest k-mer length supported by the packed representation.
+const MaxK = 64
+
+// Kmer is a DNA k-mer packed two bits per base into a 128-bit value split
+// across Hi and Lo. The first (leftmost) base occupies the most significant
+// bits of the used region; the last base occupies the least significant two
+// bits of Lo. Kmer is a comparable value type and can be used as a map key.
+type Kmer struct {
+	Hi, Lo uint64
+	K      uint8
+}
+
+// loMask returns the mask of used bits in Lo for a k-mer of length k.
+func loMask(k int) uint64 {
+	if k >= 32 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (2 * uint(k))) - 1
+}
+
+// hiMask returns the mask of used bits in Hi for a k-mer of length k.
+func hiMask(k int) uint64 {
+	if k <= 32 {
+		return 0
+	}
+	return (uint64(1) << (2 * uint(k-32))) - 1
+}
+
+// KmerFromBytes packs the first k bases of s into a Kmer. It returns an error
+// if k is out of range, s is too short, or s contains an ambiguous base.
+func KmerFromBytes(s []byte, k int) (Kmer, error) {
+	if k <= 0 || k > MaxK {
+		return Kmer{}, fmt.Errorf("seq: k=%d out of range [1,%d]", k, MaxK)
+	}
+	if len(s) < k {
+		return Kmer{}, fmt.Errorf("seq: sequence length %d < k=%d", len(s), k)
+	}
+	var km Kmer
+	km.K = uint8(k)
+	for i := 0; i < k; i++ {
+		code, ok := CharToBase(s[i])
+		if !ok {
+			return Kmer{}, fmt.Errorf("seq: ambiguous base %q at position %d", s[i], i)
+		}
+		km = km.appendUnchecked(code)
+	}
+	return km, nil
+}
+
+// KmerFromString packs a string into a k-mer of length len(s).
+func KmerFromString(s string) (Kmer, error) {
+	return KmerFromBytes([]byte(s), len(s))
+}
+
+// MustKmer packs a string into a k-mer and panics on error. It is intended
+// for tests and literals.
+func MustKmer(s string) Kmer {
+	km, err := KmerFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return km
+}
+
+// appendUnchecked shifts the k-mer left by one base and appends code, masking
+// to the k-mer length stored in km.K. The caller must ensure km.K is set.
+func (km Kmer) appendUnchecked(code byte) Kmer {
+	k := int(km.K)
+	km.Hi = (km.Hi << 2) | (km.Lo >> 62)
+	km.Lo = (km.Lo << 2) | uint64(code&3)
+	km.Lo &= loMask(k)
+	km.Hi &= hiMask(k)
+	return km
+}
+
+// AppendBase returns the k-mer obtained by dropping the first base and
+// appending code at the end (a forward step in the de Bruijn graph).
+func (km Kmer) AppendBase(code byte) Kmer { return km.appendUnchecked(code) }
+
+// PrependBase returns the k-mer obtained by dropping the last base and
+// prepending code at the front (a backward step in the de Bruijn graph).
+func (km Kmer) PrependBase(code byte) Kmer {
+	k := int(km.K)
+	km.Lo = (km.Lo >> 2) | (km.Hi << 62)
+	km.Hi >>= 2
+	pos := uint(2 * (k - 1))
+	if pos < 64 {
+		km.Lo |= uint64(code&3) << pos
+	} else {
+		km.Hi |= uint64(code&3) << (pos - 64)
+	}
+	km.Lo &= loMask(k)
+	km.Hi &= hiMask(k)
+	return km
+}
+
+// BaseAt returns the 2-bit code of the i-th base (0 = leftmost).
+func (km Kmer) BaseAt(i int) byte {
+	k := int(km.K)
+	pos := uint(2 * (k - 1 - i))
+	if pos < 64 {
+		return byte((km.Lo >> pos) & 3)
+	}
+	return byte((km.Hi >> (pos - 64)) & 3)
+}
+
+// FirstBase returns the 2-bit code of the leftmost base.
+func (km Kmer) FirstBase() byte { return km.BaseAt(0) }
+
+// LastBase returns the 2-bit code of the rightmost base.
+func (km Kmer) LastBase() byte { return byte(km.Lo & 3) }
+
+// String renders the k-mer as an ACGT string.
+func (km Kmer) String() string {
+	k := int(km.K)
+	out := make([]byte, k)
+	for i := 0; i < k; i++ {
+		out[i] = BaseToChar(km.BaseAt(i))
+	}
+	return string(out)
+}
+
+// Bytes renders the k-mer as ACGT bytes.
+func (km Kmer) Bytes() []byte {
+	k := int(km.K)
+	out := make([]byte, k)
+	for i := 0; i < k; i++ {
+		out[i] = BaseToChar(km.BaseAt(i))
+	}
+	return out
+}
+
+// ReverseComplement returns the reverse complement k-mer.
+func (km Kmer) ReverseComplement() Kmer {
+	k := int(km.K)
+	rc := Kmer{K: km.K}
+	for i := k - 1; i >= 0; i-- {
+		rc = rc.appendUnchecked(ComplementCode(km.BaseAt(i)))
+	}
+	return rc
+}
+
+// Less reports whether km sorts before other in the 128-bit packed order.
+// Both k-mers must have the same length for the comparison to be meaningful.
+func (km Kmer) Less(other Kmer) bool {
+	if km.Hi != other.Hi {
+		return km.Hi < other.Hi
+	}
+	return km.Lo < other.Lo
+}
+
+// Canonical returns the lexicographically smaller of the k-mer and its
+// reverse complement, together with a flag reporting whether the reverse
+// complement was chosen.
+func (km Kmer) Canonical() (Kmer, bool) {
+	rc := km.ReverseComplement()
+	if rc.Less(km) {
+		return rc, true
+	}
+	return km, false
+}
+
+// Hash returns a well-mixed 64-bit hash of the k-mer, suitable for selecting
+// the owner rank of a distributed hash table bucket.
+func (km Kmer) Hash() uint64 {
+	return mix64(km.Lo ^ bits.RotateLeft64(km.Hi, 31) ^ (uint64(km.K) << 56))
+}
+
+// mix64 is the splitmix64 finalizer, a cheap high-quality bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SubKmer returns the k-mer consisting of bases [start, start+k) of km.
+func (km Kmer) SubKmer(start, k int) (Kmer, error) {
+	if start < 0 || k <= 0 || start+k > int(km.K) {
+		return Kmer{}, fmt.Errorf("seq: sub-kmer [%d,%d) out of range for k=%d", start, start+k, km.K)
+	}
+	sub := Kmer{K: uint8(k)}
+	for i := 0; i < k; i++ {
+		sub = sub.appendUnchecked(km.BaseAt(start + i))
+	}
+	return sub, nil
+}
+
+// KmerIter iterates over the valid k-mers of a sequence, skipping windows
+// that contain ambiguous bases.
+type KmerIter struct {
+	seq   []byte
+	k     int
+	pos   int
+	valid int // number of consecutive valid bases ending just before pos
+	cur   Kmer
+}
+
+// NewKmerIter returns an iterator over the k-mers of s.
+func NewKmerIter(s []byte, k int) *KmerIter {
+	return &KmerIter{seq: s, k: k, cur: Kmer{K: uint8(k)}}
+}
+
+// Next advances the iterator. It returns the next k-mer, the offset of its
+// first base within the sequence, and false when the sequence is exhausted.
+func (it *KmerIter) Next() (Kmer, int, bool) {
+	for it.pos < len(it.seq) {
+		code, ok := CharToBase(it.seq[it.pos])
+		it.pos++
+		if !ok {
+			it.valid = 0
+			continue
+		}
+		it.cur = it.cur.appendUnchecked(code)
+		it.valid++
+		if it.valid >= it.k {
+			return it.cur, it.pos - it.k, true
+		}
+	}
+	return Kmer{}, 0, false
+}
+
+// KmersOf returns all valid k-mers of a sequence in order of appearance.
+func KmersOf(s []byte, k int) []Kmer {
+	if len(s) < k || k <= 0 || k > MaxK {
+		return nil
+	}
+	out := make([]Kmer, 0, len(s)-k+1)
+	it := NewKmerIter(s, k)
+	for {
+		km, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, km)
+	}
+	return out
+}
+
+// CanonicalKmersOf returns all valid k-mers of a sequence in canonical form.
+func CanonicalKmersOf(s []byte, k int) []Kmer {
+	kms := KmersOf(s, k)
+	for i, km := range kms {
+		kms[i], _ = km.Canonical()
+	}
+	return kms
+}

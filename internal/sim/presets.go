@@ -1,0 +1,128 @@
+package sim
+
+// Presets approximating the paper's datasets at laptop scale. The structural
+// parameters (number of organisms, abundance skew, error rate, paired-end
+// geometry) follow the paper; the absolute genome and read counts are scaled
+// down by several orders of magnitude so that experiments run in seconds.
+
+// MG64LikeCommunity returns a 64-organism synthetic community modelled on
+// the MG64 mock community used for the paper's quality evaluation (Table I).
+// scale multiplies the genome lengths; scale=1 gives ~10 kb genomes.
+func MG64LikeCommunity(scale float64, seed int64) *Community {
+	if scale <= 0 {
+		scale = 1
+	}
+	cfg := CommunityConfig{
+		NumGenomes:     64,
+		MeanGenomeLen:  int(10000 * scale),
+		LenVariation:   0.4,
+		AbundanceSigma: 1.2,
+		RRNALen:        300,
+		RRNACopies:     1,
+		RRNADivergence: 0.03,
+		RepeatLen:      250,
+		RepeatCopies:   6,
+		StrainFraction: 0.08,
+		StrainSNPRate:  0.01,
+		Seed:           seed,
+	}
+	return GenerateCommunity(cfg)
+}
+
+// MG64LikeReads simulates the read set for the MG64-like community at the
+// given mean coverage.
+func MG64LikeReads(c *Community, coverage float64, seed int64) ReadConfig {
+	return ReadConfig{
+		ReadLen:    100,
+		InsertSize: 280,
+		InsertStd:  25,
+		ErrorRate:  0.01,
+		Coverage:   coverage,
+		Seed:       seed,
+	}
+}
+
+// WetlandsLikeCommunity returns a community standing in for the Twitchell
+// Wetlands soil sample: many organisms with a heavily skewed abundance
+// distribution, so a fixed sequencing budget leaves many genomes at low
+// coverage. lanes scales the community size (the paper uses 3 of 21 lanes
+// for strong scaling and all 21 for the grand-challenge run).
+func WetlandsLikeCommunity(organisms int, scale float64, seed int64) *Community {
+	if organisms <= 0 {
+		organisms = 96
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	cfg := CommunityConfig{
+		NumGenomes:     organisms,
+		MeanGenomeLen:  int(8000 * scale),
+		LenVariation:   0.5,
+		AbundanceSigma: 1.8, // soil communities are extremely uneven
+		RRNALen:        300,
+		RRNACopies:     1,
+		RRNADivergence: 0.04,
+		RepeatLen:      200,
+		RepeatCopies:   10,
+		StrainFraction: 0.12,
+		StrainSNPRate:  0.012,
+		Seed:           seed,
+	}
+	return GenerateCommunity(cfg)
+}
+
+// WeakScalingPoint describes one row of the paper's Table II weak-scaling
+// series: the number of genomic taxa and read pairs grows proportionally to
+// the number of nodes.
+type WeakScalingPoint struct {
+	Nodes     int
+	Taxa      int
+	ReadPairs int
+}
+
+// WeakScalingSeries returns the Table II series scaled down by the given
+// factor: the paper's points are (128, 5 taxa, 125 M reads) ... (1024, 40
+// taxa, 1 B reads); here nodes are divided by nodeDiv and read pairs are
+// basePairsPerTaxon per taxon.
+func WeakScalingSeries(nodeDiv int, basePairsPerTaxon int) []WeakScalingPoint {
+	if nodeDiv <= 0 {
+		nodeDiv = 32
+	}
+	if basePairsPerTaxon <= 0 {
+		basePairsPerTaxon = 1500
+	}
+	points := []struct{ nodes, taxa int }{
+		{128, 5}, {256, 10}, {512, 20}, {1024, 40},
+	}
+	out := make([]WeakScalingPoint, len(points))
+	for i, p := range points {
+		out[i] = WeakScalingPoint{
+			Nodes:     p.nodes / nodeDiv,
+			Taxa:      p.taxa,
+			ReadPairs: p.taxa * basePairsPerTaxon,
+		}
+		if out[i].Nodes < 1 {
+			out[i].Nodes = 1
+		}
+	}
+	return out
+}
+
+// WeakScalingCommunity builds the community for one weak-scaling point.
+func WeakScalingCommunity(p WeakScalingPoint, seed int64) *Community {
+	cfg := CommunityConfig{
+		NumGenomes:     p.Taxa,
+		MeanGenomeLen:  12000,
+		LenVariation:   0.3,
+		AbundanceSigma: 1.0,
+		RRNALen:        300,
+		RRNACopies:     1,
+		RRNADivergence: 0.03,
+		RepeatLen:      200,
+		RepeatCopies:   2,
+		StrainFraction: 0,
+		StrainSNPRate:  0.01,
+		Seed:           seed,
+	}
+	return GenerateCommunity(cfg)
+}

@@ -1,0 +1,355 @@
+// Package sim implements MGSim, the synthetic metagenome generator the paper
+// introduces for its weak-scaling study, extended here to stand in for all
+// of the paper's datasets (MG64, Twitchell Wetlands lanes) since the real
+// multi-terabyte read sets are not available in this environment.
+//
+// A Community is a set of reference genomes with relative abundances drawn
+// from a log-normal distribution (as in the paper). Genomes contain planted
+// conserved "ribosomal" marker regions shared (with small mutations) across
+// all genomes, shared repeat segments, and optional SNP strain pairs — the
+// features that make metagenome assembly harder than single-genome assembly.
+// A WGSim-like simulator then produces paired-end reads with per-base errors
+// and quality strings.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mhmgo/internal/seq"
+)
+
+// Genome is one reference organism in a simulated community.
+type Genome struct {
+	Name      string
+	Seq       []byte
+	Abundance float64 // relative abundance, normalized to sum to 1 over the community
+	// RRNAPositions are the start offsets of planted conserved marker copies.
+	RRNAPositions []int
+	// StrainOf is the name of the genome this one is a SNP strain of, or "".
+	StrainOf string
+}
+
+// Community is a simulated metagenome: the reference genomes plus the
+// conserved marker sequence planted into each of them.
+type Community struct {
+	Genomes    []Genome
+	RRNAMarker []byte
+}
+
+// TotalBases returns the summed length of all reference genomes.
+func (c *Community) TotalBases() int {
+	n := 0
+	for _, g := range c.Genomes {
+		n += len(g.Seq)
+	}
+	return n
+}
+
+// GenomeByName returns the genome with the given name, or nil.
+func (c *Community) GenomeByName(name string) *Genome {
+	for i := range c.Genomes {
+		if c.Genomes[i].Name == name {
+			return &c.Genomes[i]
+		}
+	}
+	return nil
+}
+
+// CommunityConfig controls community generation.
+type CommunityConfig struct {
+	// NumGenomes is the number of distinct organisms.
+	NumGenomes int
+	// MeanGenomeLen is the average genome length in bases; individual genome
+	// lengths vary uniformly by ±LenVariation (a fraction, e.g. 0.3).
+	MeanGenomeLen int
+	LenVariation  float64
+	// AbundanceSigma is the sigma of the log-normal relative-abundance
+	// distribution (the paper samples abundances log-normally).
+	AbundanceSigma float64
+	// RRNALen is the length of the conserved marker planted into every
+	// genome; RRNACopies is how many copies each genome receives.
+	RRNALen    int
+	RRNACopies int
+	// RRNADivergence is the per-base mutation rate applied to the marker in
+	// each genome (conserved but not identical).
+	RRNADivergence float64
+	// RepeatLen/RepeatCopies plant a shared repeat segment into this many
+	// genomes, creating inter-genome ambiguity.
+	RepeatLen    int
+	RepeatCopies int
+	// StrainFraction is the fraction of genomes that are SNP strains of
+	// another genome (polymorphism within species).
+	StrainFraction float64
+	// StrainSNPRate is the per-base SNP rate between a strain and its parent.
+	StrainSNPRate float64
+	// Seed seeds the deterministic generator.
+	Seed int64
+}
+
+// DefaultCommunityConfig returns a small but structurally realistic
+// community configuration.
+func DefaultCommunityConfig() CommunityConfig {
+	return CommunityConfig{
+		NumGenomes:     8,
+		MeanGenomeLen:  20000,
+		LenVariation:   0.3,
+		AbundanceSigma: 1.0,
+		RRNALen:        400,
+		RRNACopies:     1,
+		RRNADivergence: 0.02,
+		RepeatLen:      300,
+		RepeatCopies:   3,
+		StrainFraction: 0.1,
+		StrainSNPRate:  0.01,
+		Seed:           1,
+	}
+}
+
+func (cfg CommunityConfig) withDefaults() CommunityConfig {
+	def := DefaultCommunityConfig()
+	if cfg.NumGenomes <= 0 {
+		cfg.NumGenomes = def.NumGenomes
+	}
+	if cfg.MeanGenomeLen <= 0 {
+		cfg.MeanGenomeLen = def.MeanGenomeLen
+	}
+	if cfg.LenVariation < 0 || cfg.LenVariation >= 1 {
+		cfg.LenVariation = def.LenVariation
+	}
+	if cfg.AbundanceSigma <= 0 {
+		cfg.AbundanceSigma = def.AbundanceSigma
+	}
+	if cfg.RRNALen <= 0 {
+		cfg.RRNALen = def.RRNALen
+	}
+	if cfg.RRNACopies <= 0 {
+		cfg.RRNACopies = def.RRNACopies
+	}
+	if cfg.RRNADivergence < 0 {
+		cfg.RRNADivergence = def.RRNADivergence
+	}
+	if cfg.RepeatLen < 0 {
+		cfg.RepeatLen = 0
+	}
+	if cfg.StrainSNPRate <= 0 {
+		cfg.StrainSNPRate = def.StrainSNPRate
+	}
+	return cfg
+}
+
+func randomBases(r *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = seq.BaseToChar(byte(r.Intn(4)))
+	}
+	return out
+}
+
+func mutate(r *rand.Rand, s []byte, rate float64) []byte {
+	out := append([]byte(nil), s...)
+	for i := range out {
+		if r.Float64() < rate {
+			out[i] = seq.BaseToChar(byte(r.Intn(4)))
+		}
+	}
+	return out
+}
+
+// GenerateCommunity builds a deterministic synthetic community.
+func GenerateCommunity(cfg CommunityConfig) *Community {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	marker := randomBases(r, cfg.RRNALen)
+	repeat := randomBases(r, cfg.RepeatLen)
+
+	c := &Community{RRNAMarker: marker}
+	abundances := make([]float64, cfg.NumGenomes)
+	var sum float64
+	for i := range abundances {
+		abundances[i] = math.Exp(r.NormFloat64() * cfg.AbundanceSigma)
+		sum += abundances[i]
+	}
+
+	numStrains := int(float64(cfg.NumGenomes) * cfg.StrainFraction)
+	for i := 0; i < cfg.NumGenomes; i++ {
+		name := fmt.Sprintf("genome%03d", i)
+		g := Genome{Name: name, Abundance: abundances[i] / sum}
+		if i >= cfg.NumGenomes-numStrains && i > 0 {
+			// Strain of an earlier genome: copy with SNPs.
+			parent := c.Genomes[r.Intn(i)]
+			g.Seq = mutate(r, parent.Seq, cfg.StrainSNPRate)
+			g.StrainOf = parent.Name
+			g.RRNAPositions = append([]int(nil), parent.RRNAPositions...)
+			c.Genomes = append(c.Genomes, g)
+			continue
+		}
+		length := cfg.MeanGenomeLen
+		if cfg.LenVariation > 0 {
+			span := int(float64(cfg.MeanGenomeLen) * cfg.LenVariation)
+			length += r.Intn(2*span+1) - span
+		}
+		if length < 4*cfg.RRNALen {
+			length = 4 * cfg.RRNALen
+		}
+		g.Seq = randomBases(r, length)
+		// Plant conserved marker copies.
+		for copyIdx := 0; copyIdx < cfg.RRNACopies; copyIdx++ {
+			m := mutate(r, marker, cfg.RRNADivergence)
+			pos := r.Intn(length - len(m))
+			copy(g.Seq[pos:], m)
+			g.RRNAPositions = append(g.RRNAPositions, pos)
+		}
+		// Plant shared repeats into the first RepeatCopies genomes.
+		if cfg.RepeatLen > 0 && i < cfg.RepeatCopies {
+			pos := r.Intn(length - cfg.RepeatLen)
+			copy(g.Seq[pos:], repeat)
+		}
+		c.Genomes = append(c.Genomes, g)
+	}
+	return c
+}
+
+// ReadConfig controls paired-end read simulation (WGSim-like).
+type ReadConfig struct {
+	// ReadLen is the length of each read of a pair.
+	ReadLen int
+	// InsertSize and InsertStd describe the fragment-length distribution.
+	InsertSize int
+	InsertStd  int
+	// ErrorRate is the per-base substitution error probability.
+	ErrorRate float64
+	// Coverage is the mean fold-coverage of the community (weighted by
+	// abundance); TotalPairs overrides it when > 0.
+	Coverage   float64
+	TotalPairs int
+	// Seed seeds the deterministic generator.
+	Seed int64
+}
+
+// DefaultReadConfig returns a typical short-read configuration.
+func DefaultReadConfig() ReadConfig {
+	return ReadConfig{
+		ReadLen:    100,
+		InsertSize: 300,
+		InsertStd:  30,
+		ErrorRate:  0.01,
+		Coverage:   20,
+		Seed:       2,
+	}
+}
+
+func (cfg ReadConfig) withDefaults() ReadConfig {
+	def := DefaultReadConfig()
+	if cfg.ReadLen <= 0 {
+		cfg.ReadLen = def.ReadLen
+	}
+	if cfg.InsertSize <= 0 {
+		cfg.InsertSize = def.InsertSize
+	}
+	if cfg.InsertSize < 2*cfg.ReadLen {
+		cfg.InsertSize = 2 * cfg.ReadLen
+	}
+	if cfg.InsertStd < 0 {
+		cfg.InsertStd = def.InsertStd
+	}
+	if cfg.ErrorRate < 0 {
+		cfg.ErrorRate = 0
+	}
+	if cfg.Coverage <= 0 && cfg.TotalPairs <= 0 {
+		cfg.Coverage = def.Coverage
+	}
+	return cfg
+}
+
+// SimulateReads generates paired-end reads from the community. The returned
+// slice interleaves pairs: reads 2i and 2i+1 are mates. Read IDs encode the
+// source genome, fragment start and mate index ("genome003:1523/1") so that
+// evaluation and debugging can trace reads back to their origin.
+func SimulateReads(c *Community, cfg ReadConfig) []seq.Read {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Effective bases weighted by abundance decide per-genome pair counts.
+	var weightSum float64
+	for _, g := range c.Genomes {
+		weightSum += g.Abundance * float64(len(g.Seq))
+	}
+	totalPairs := cfg.TotalPairs
+	if totalPairs <= 0 {
+		totalBases := cfg.Coverage * float64(c.TotalBases())
+		totalPairs = int(totalBases / float64(2*cfg.ReadLen))
+	}
+
+	var reads []seq.Read
+	pairIdx := 0
+	for gi := range c.Genomes {
+		g := &c.Genomes[gi]
+		if len(g.Seq) < cfg.InsertSize+4*cfg.InsertStd+2 {
+			continue
+		}
+		w := g.Abundance * float64(len(g.Seq)) / weightSum
+		pairs := int(math.Round(w * float64(totalPairs)))
+		for p := 0; p < pairs; p++ {
+			frag := cfg.InsertSize
+			if cfg.InsertStd > 0 {
+				frag += int(math.Round(r.NormFloat64() * float64(cfg.InsertStd)))
+			}
+			if frag < 2*cfg.ReadLen {
+				frag = 2 * cfg.ReadLen
+			}
+			if frag >= len(g.Seq) {
+				frag = len(g.Seq) - 1
+			}
+			start := r.Intn(len(g.Seq) - frag)
+			fwdSeq := g.Seq[start : start+cfg.ReadLen]
+			revSrc := g.Seq[start+frag-cfg.ReadLen : start+frag]
+			fwd, fq := applyErrors(r, fwdSeq, cfg.ErrorRate)
+			rev, rq := applyErrors(r, seq.ReverseComplement(revSrc), cfg.ErrorRate)
+			idBase := fmt.Sprintf("%s:%d:%d", g.Name, start, pairIdx)
+			reads = append(reads,
+				seq.Read{ID: idBase + "/1", Seq: fwd, Qual: fq},
+				seq.Read{ID: idBase + "/2", Seq: rev, Qual: rq},
+			)
+			pairIdx++
+		}
+	}
+	return reads
+}
+
+// applyErrors copies s, introducing substitution errors at the given rate,
+// and produces a quality string where erroneous bases tend to get lower
+// quality values (as real base callers do, imperfectly).
+func applyErrors(r *rand.Rand, s []byte, rate float64) ([]byte, []byte) {
+	out := append([]byte(nil), s...)
+	qual := make([]byte, len(s))
+	for i := range out {
+		if r.Float64() < rate {
+			orig := out[i]
+			for out[i] == orig {
+				out[i] = seq.BaseToChar(byte(r.Intn(4)))
+			}
+			// Erroneous bases usually, but not always, get low quality.
+			if r.Float64() < 0.7 {
+				qual[i] = byte(33 + 2 + r.Intn(15))
+			} else {
+				qual[i] = byte(33 + 30 + r.Intn(10))
+			}
+		} else {
+			qual[i] = byte(33 + 30 + r.Intn(10))
+		}
+	}
+	return out, qual
+}
+
+// SourceGenome parses the genome name out of a simulated read ID, returning
+// "" if the ID does not follow the simulator's format.
+func SourceGenome(readID string) string {
+	for i := 0; i < len(readID); i++ {
+		if readID[i] == ':' {
+			return readID[:i]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mhmgo/internal/seq"
+)
+
+func TestGenerateCommunityDeterministic(t *testing.T) {
+	cfg := DefaultCommunityConfig()
+	a := GenerateCommunity(cfg)
+	b := GenerateCommunity(cfg)
+	if len(a.Genomes) != len(b.Genomes) {
+		t.Fatal("nondeterministic genome count")
+	}
+	for i := range a.Genomes {
+		if string(a.Genomes[i].Seq) != string(b.Genomes[i].Seq) {
+			t.Fatalf("genome %d differs between identical seeds", i)
+		}
+	}
+	cfg.Seed = 99
+	c := GenerateCommunity(cfg)
+	if string(a.Genomes[0].Seq) == string(c.Genomes[0].Seq) {
+		t.Error("different seeds should produce different genomes")
+	}
+}
+
+func TestCommunityStructure(t *testing.T) {
+	cfg := DefaultCommunityConfig()
+	cfg.NumGenomes = 10
+	cfg.StrainFraction = 0.2
+	c := GenerateCommunity(cfg)
+	if len(c.Genomes) != 10 {
+		t.Fatalf("got %d genomes, want 10", len(c.Genomes))
+	}
+	var abundanceSum float64
+	strains := 0
+	for _, g := range c.Genomes {
+		if len(g.Seq) == 0 {
+			t.Errorf("genome %s is empty", g.Name)
+		}
+		if !seq.ValidBases(g.Seq) {
+			t.Errorf("genome %s has ambiguous bases", g.Name)
+		}
+		abundanceSum += g.Abundance
+		if g.StrainOf != "" {
+			strains++
+			parent := c.GenomeByName(g.StrainOf)
+			if parent == nil {
+				t.Errorf("strain %s has unknown parent %s", g.Name, g.StrainOf)
+				continue
+			}
+			if len(parent.Seq) != len(g.Seq) {
+				t.Errorf("strain %s length differs from parent", g.Name)
+			}
+			diff := 0
+			for i := range g.Seq {
+				if g.Seq[i] != parent.Seq[i] {
+					diff++
+				}
+			}
+			rate := float64(diff) / float64(len(g.Seq))
+			if rate == 0 || rate > 0.05 {
+				t.Errorf("strain %s SNP rate %v out of expected range", g.Name, rate)
+			}
+		}
+	}
+	if math.Abs(abundanceSum-1) > 1e-9 {
+		t.Errorf("abundances sum to %v, want 1", abundanceSum)
+	}
+	if strains == 0 {
+		t.Error("expected at least one strain genome")
+	}
+	if c.TotalBases() <= 0 {
+		t.Error("TotalBases should be positive")
+	}
+	if c.GenomeByName("nope") != nil {
+		t.Error("GenomeByName of unknown name should be nil")
+	}
+}
+
+func TestRRNAMarkerPlanted(t *testing.T) {
+	cfg := DefaultCommunityConfig()
+	cfg.NumGenomes = 6
+	cfg.StrainFraction = 0
+	cfg.RRNADivergence = 0 // identical markers, easy to verify
+	c := GenerateCommunity(cfg)
+	marker := string(c.RRNAMarker)
+	for _, g := range c.Genomes {
+		if len(g.RRNAPositions) != cfg.RRNACopies {
+			t.Errorf("genome %s has %d marker positions, want %d", g.Name, len(g.RRNAPositions), cfg.RRNACopies)
+			continue
+		}
+		pos := g.RRNAPositions[0]
+		got := string(g.Seq[pos : pos+len(marker)])
+		if got != marker {
+			t.Errorf("genome %s: marker not found at recorded position", g.Name)
+		}
+		if !strings.Contains(string(g.Seq), marker) {
+			t.Errorf("genome %s does not contain the marker", g.Name)
+		}
+	}
+}
+
+func TestSimulateReadsBasics(t *testing.T) {
+	cfg := DefaultCommunityConfig()
+	cfg.NumGenomes = 4
+	cfg.MeanGenomeLen = 8000
+	cfg.StrainFraction = 0
+	c := GenerateCommunity(cfg)
+	rc := DefaultReadConfig()
+	rc.Coverage = 10
+	reads := SimulateReads(c, rc)
+	if len(reads) == 0 {
+		t.Fatal("no reads simulated")
+	}
+	if len(reads)%2 != 0 {
+		t.Fatal("reads must come in pairs")
+	}
+	// Coverage sanity: total read bases should be within 2x of the target.
+	totalBases := 0
+	for _, r := range reads {
+		if len(r.Seq) != rc.ReadLen {
+			t.Fatalf("read length %d, want %d", len(r.Seq), rc.ReadLen)
+		}
+		if len(r.Qual) != len(r.Seq) {
+			t.Fatalf("quality length mismatch")
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("invalid read: %v", err)
+		}
+		totalBases += len(r.Seq)
+	}
+	target := rc.Coverage * float64(c.TotalBases())
+	if float64(totalBases) < target/2 || float64(totalBases) > target*2 {
+		t.Errorf("total read bases %d far from target %v", totalBases, target)
+	}
+	// Pair IDs must share a prefix and end in /1 and /2.
+	for i := 0; i+1 < len(reads); i += 2 {
+		id1, id2 := reads[i].ID, reads[i+1].ID
+		if !strings.HasSuffix(id1, "/1") || !strings.HasSuffix(id2, "/2") {
+			t.Fatalf("pair suffixes wrong: %q %q", id1, id2)
+		}
+		if strings.TrimSuffix(id1, "/1") != strings.TrimSuffix(id2, "/2") {
+			t.Fatalf("pair IDs do not match: %q %q", id1, id2)
+		}
+	}
+	if SourceGenome(reads[0].ID) == "" {
+		t.Error("SourceGenome failed to parse simulated ID")
+	}
+	if SourceGenome("weird-id") != "" {
+		t.Error("SourceGenome should return empty for foreign IDs")
+	}
+}
+
+func TestSimulateReadsErrorRate(t *testing.T) {
+	cfg := DefaultCommunityConfig()
+	cfg.NumGenomes = 2
+	cfg.MeanGenomeLen = 10000
+	cfg.StrainFraction = 0
+	c := GenerateCommunity(cfg)
+
+	perfect := SimulateReads(c, ReadConfig{ReadLen: 100, InsertSize: 300, ErrorRate: 0, Coverage: 5, Seed: 3})
+	noisy := SimulateReads(c, ReadConfig{ReadLen: 100, InsertSize: 300, ErrorRate: 0.05, Coverage: 5, Seed: 3})
+
+	mismatchFraction := func(reads []seq.Read) float64 {
+		mismatches, total := 0, 0
+		for _, r := range reads {
+			if !strings.HasSuffix(r.ID, "/1") {
+				continue // only forward reads align trivially to the reference
+			}
+			g := c.GenomeByName(SourceGenome(r.ID))
+			var start int
+			if _, err := parseStart(r.ID, &start); err != nil {
+				t.Fatalf("cannot parse %q: %v", r.ID, err)
+			}
+			ref := g.Seq[start : start+len(r.Seq)]
+			for i := range r.Seq {
+				if r.Seq[i] != ref[i] {
+					mismatches++
+				}
+				total++
+			}
+		}
+		return float64(mismatches) / float64(total)
+	}
+	if f := mismatchFraction(perfect); f != 0 {
+		t.Errorf("error-free reads have mismatch fraction %v", f)
+	}
+	f := mismatchFraction(noisy)
+	if f < 0.02 || f > 0.1 {
+		t.Errorf("noisy reads mismatch fraction %v, want around 0.05", f)
+	}
+}
+
+// parseStart extracts the fragment start coordinate from a simulated read ID
+// of the form genome:start:pair/1.
+func parseStart(id string, out *int) (int, error) {
+	parts := strings.Split(id, ":")
+	if len(parts) < 3 {
+		return 0, errFormat
+	}
+	n := 0
+	for _, ch := range parts[1] {
+		if ch < '0' || ch > '9' {
+			return 0, errFormat
+		}
+		n = n*10 + int(ch-'0')
+	}
+	*out = n
+	return n, nil
+}
+
+var errFormat = &formatError{}
+
+type formatError struct{}
+
+func (*formatError) Error() string { return "bad simulated read id" }
+
+func TestSimulateReadsTotalPairsOverride(t *testing.T) {
+	cfg := DefaultCommunityConfig()
+	cfg.NumGenomes = 3
+	cfg.StrainFraction = 0
+	c := GenerateCommunity(cfg)
+	rc := DefaultReadConfig()
+	rc.TotalPairs = 500
+	reads := SimulateReads(c, rc)
+	pairs := len(reads) / 2
+	if pairs < 350 || pairs > 650 {
+		t.Errorf("TotalPairs=500 produced %d pairs", pairs)
+	}
+}
+
+func TestMG64LikePreset(t *testing.T) {
+	c := MG64LikeCommunity(0.5, 7)
+	if len(c.Genomes) != 64 {
+		t.Fatalf("MG64-like community has %d genomes, want 64", len(c.Genomes))
+	}
+	// Abundances should be skewed: max should dominate min substantially.
+	minA, maxA := 1.0, 0.0
+	for _, g := range c.Genomes {
+		if g.Abundance < minA {
+			minA = g.Abundance
+		}
+		if g.Abundance > maxA {
+			maxA = g.Abundance
+		}
+	}
+	if maxA/minA < 5 {
+		t.Errorf("abundance skew %v too small for a log-normal community", maxA/minA)
+	}
+	rc := MG64LikeReads(c, 15, 8)
+	reads := SimulateReads(c, rc)
+	if len(reads) == 0 {
+		t.Fatal("no reads from MG64-like preset")
+	}
+}
+
+func TestWetlandsLikePreset(t *testing.T) {
+	c := WetlandsLikeCommunity(48, 0.5, 11)
+	if len(c.Genomes) != 48 {
+		t.Fatalf("got %d genomes", len(c.Genomes))
+	}
+	c2 := WetlandsLikeCommunity(0, 0, 11)
+	if len(c2.Genomes) != 96 {
+		t.Errorf("defaults should give 96 genomes, got %d", len(c2.Genomes))
+	}
+}
+
+func TestWeakScalingSeries(t *testing.T) {
+	series := WeakScalingSeries(32, 1000)
+	if len(series) != 4 {
+		t.Fatalf("series length %d", len(series))
+	}
+	wantNodes := []int{4, 8, 16, 32}
+	wantTaxa := []int{5, 10, 20, 40}
+	for i, p := range series {
+		if p.Nodes != wantNodes[i] || p.Taxa != wantTaxa[i] {
+			t.Errorf("point %d = %+v", i, p)
+		}
+		if p.ReadPairs != p.Taxa*1000 {
+			t.Errorf("point %d read pairs = %d", i, p.ReadPairs)
+		}
+		comm := WeakScalingCommunity(p, 3)
+		if len(comm.Genomes) != p.Taxa {
+			t.Errorf("community for point %d has %d genomes", i, len(comm.Genomes))
+		}
+	}
+	// Degenerate arguments fall back to defaults without panicking.
+	if s := WeakScalingSeries(0, 0); len(s) != 4 || s[0].Nodes < 1 {
+		t.Errorf("default series wrong: %+v", s)
+	}
+}

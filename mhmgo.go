@@ -1,0 +1,79 @@
+// Package mhmgo is the public API of MetaHipMer-Go, a from-scratch Go
+// reproduction of "Extreme Scale De Novo Metagenome Assembly" (Georganas et
+// al., SC18). It assembles metagenomic short-read data with the paper's
+// iterative de Bruijn graph pipeline and metagenome-aware scaffolder, running
+// SPMD-style on a virtual PGAS machine whose communication is metered by a
+// cost model (see DESIGN.md for the substitutions relative to the paper's
+// Cray/UPC environment).
+//
+// Quick start:
+//
+//	comm := mhmgo.SimulateCommunity(mhmgo.DefaultCommunityConfig())
+//	reads := mhmgo.SimulateReads(comm, mhmgo.DefaultReadConfig())
+//	result, err := mhmgo.Assemble(reads, mhmgo.DefaultConfig(8))
+//	// result.FinalSequences() are the assembled scaffolds.
+package mhmgo
+
+import (
+	"mhmgo/internal/core"
+	"mhmgo/internal/eval"
+	"mhmgo/internal/hmm"
+	"mhmgo/internal/seq"
+	"mhmgo/internal/sim"
+)
+
+// Re-exported core types. Config controls the pipeline, Result is the
+// assembly outcome; see the internal/core documentation for field details.
+type (
+	// Config is the assembly pipeline configuration.
+	Config = core.Config
+	// Result is the outcome of an assembly.
+	Result = core.Result
+	// Read is a sequencing read.
+	Read = seq.Read
+	// Community is a simulated metagenome with known reference genomes.
+	Community = sim.Community
+	// CommunityConfig controls community simulation.
+	CommunityConfig = sim.CommunityConfig
+	// ReadConfig controls read simulation.
+	ReadConfig = sim.ReadConfig
+	// QualityReport is a metaQUAST-style evaluation of an assembly against
+	// the simulated references.
+	QualityReport = eval.Report
+	// RRNAProfile is a profile model of a conserved ribosomal region.
+	RRNAProfile = hmm.Profile
+)
+
+// DefaultConfig returns the standard MetaHipMer pipeline configuration for a
+// virtual machine with the given number of ranks.
+func DefaultConfig(ranks int) Config { return core.DefaultConfig(ranks) }
+
+// Assemble runs the full pipeline (iterative contig generation plus
+// scaffolding) over interleaved paired-end reads.
+func Assemble(reads []Read, cfg Config) (*Result, error) { return core.Assemble(reads, cfg) }
+
+// DefaultCommunityConfig returns a small synthetic community configuration.
+func DefaultCommunityConfig() CommunityConfig { return sim.DefaultCommunityConfig() }
+
+// DefaultReadConfig returns a typical Illumina-like read simulation
+// configuration.
+func DefaultReadConfig() ReadConfig { return sim.DefaultReadConfig() }
+
+// SimulateCommunity generates a deterministic synthetic metagenome.
+func SimulateCommunity(cfg CommunityConfig) *Community { return sim.GenerateCommunity(cfg) }
+
+// SimulateReads generates paired-end reads from a community.
+func SimulateReads(c *Community, cfg ReadConfig) []Read { return sim.SimulateReads(c, cfg) }
+
+// BuildRRNAProfile builds a ribosomal-region profile from example marker
+// sequences (e.g. a community's planted marker); pass it via
+// Config.RRNAProfile to enable the rRNA scaffolding rule.
+func BuildRRNAProfile(examples [][]byte, conservation float64) *RRNAProfile {
+	return hmm.BuildProfile(examples, conservation)
+}
+
+// Evaluate scores an assembly against the community it was simulated from,
+// producing the paper's Table I metrics.
+func Evaluate(name string, assembly [][]byte, comm *Community) QualityReport {
+	return eval.Evaluate(name, assembly, comm, eval.DefaultOptions())
+}

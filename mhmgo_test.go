@@ -1,0 +1,41 @@
+package mhmgo_test
+
+import (
+	"testing"
+
+	"mhmgo"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as the README's
+// quickstart does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	commCfg := mhmgo.DefaultCommunityConfig()
+	commCfg.NumGenomes = 3
+	commCfg.MeanGenomeLen = 4000
+	comm := mhmgo.SimulateCommunity(commCfg)
+
+	readCfg := mhmgo.DefaultReadConfig()
+	readCfg.Coverage = 12
+	reads := mhmgo.SimulateReads(comm, readCfg)
+	if len(reads) == 0 {
+		t.Fatal("no reads simulated")
+	}
+
+	cfg := mhmgo.DefaultConfig(4)
+	cfg.RRNAProfile = mhmgo.BuildRRNAProfile([][]byte{comm.RRNAMarker}, 0.9)
+	result, err := mhmgo.Assemble(reads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.FinalSequences()) == 0 {
+		t.Fatal("no assembled sequences")
+	}
+
+	report := mhmgo.Evaluate("quickstart", result.FinalSequences(), comm)
+	if report.GenomeFraction < 0.8 {
+		t.Errorf("genome fraction %v too low for an easy community", report.GenomeFraction)
+	}
+	if report.TotalLen == 0 || report.N50 == 0 {
+		t.Errorf("report not populated: %+v", report)
+	}
+}
