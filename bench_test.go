@@ -7,10 +7,13 @@
 package mhmgo_test
 
 import (
+	"runtime"
 	"testing"
 
 	"mhmgo"
+	"mhmgo/internal/dht"
 	"mhmgo/internal/experiments"
+	"mhmgo/internal/pgas"
 )
 
 func benchScale() experiments.Scale { return experiments.QuickScale() }
@@ -141,6 +144,63 @@ func BenchmarkAblationOptimizations(b *testing.B) {
 				b.ReportMetric(row.Off/row.On, "aggregation_speedup_x")
 			}
 		}
+	}
+}
+
+// BenchmarkDHTHotRankPipeline measures the distributed hash table under the
+// worst-case skew of Section II-A at pipeline altitude: every rank directs a
+// mixed workload (aggregated Updater traffic, remote atomics, one-sided
+// reads — the mix the assembler's stages actually produce) at a single hot
+// owner rank. stripes=1 reproduces the historical one-lock-per-rank layout;
+// striped is the current default. internal/dht has the isolated
+// single-operation variants (BenchmarkDHTContention, BenchmarkDHTUpdaterFlush,
+// BenchmarkDHTFrozenReads) and the speedup assertion
+// (TestStripingContentionSpeedup); the gap widens with physical core count.
+func BenchmarkDHTHotRankPipeline(b *testing.B) {
+	intHash := func(k int) uint64 {
+		x := uint64(k) * 0x9e3779b97f4a7c15
+		x ^= x >> 32
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 29
+		return x
+	}
+	for _, cfg := range []struct {
+		name    string
+		stripes int
+	}{{"stripes=1", 1}, {"striped", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			const ranks = 8
+			if runtime.GOMAXPROCS(0) < ranks {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(ranks))
+			}
+			m := pgas.NewMachine(pgas.Config{Ranks: ranks})
+			dm := dht.NewMap[int, int](m, intHash, 16, dht.WithStripes(cfg.stripes))
+			var keys []int
+			for k := 0; len(keys) < 1024; k++ {
+				if dm.Owner(k) == 0 {
+					keys = append(keys, k)
+				}
+			}
+			add := func(e, v int, ok bool) int { return e + v }
+			b.ResetTimer()
+			m.Run(func(r *pgas.Rank) {
+				u := dm.NewUpdater(r, add, 256, true)
+				for i := r.ID(); i < b.N; i += ranks {
+					key := keys[i&1023]
+					switch i % 3 {
+					case 0:
+						u.Update(key, 1)
+					case 1:
+						dht.Mutate(dm, r, key, func(v int, found bool) (int, bool, int) {
+							return v + 1, true, 0
+						})
+					default:
+						dm.Get(r, key)
+					}
+				}
+				u.Flush()
+			})
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module mhmgo
+
+go 1.24

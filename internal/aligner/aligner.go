@@ -119,6 +119,9 @@ func BuildIndex(r *pgas.Rank, contigs []dbg.Contig, opts Options) *Index {
 	}
 	u.Flush()
 	r.Barrier()
+	// The index is never mutated after construction: switch it into the
+	// lock-free read-only phase so alignment reads take no stripe locks.
+	idx.Seeds.Freeze()
 	return idx
 }
 

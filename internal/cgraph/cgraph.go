@@ -132,6 +132,9 @@ func buildJunctionIndex(r *pgas.Rank, contigs []dbg.Contig, k int, aggregate boo
 	}
 	u.Flush()
 	r.Barrier()
+	// All refinement passes only read the junction index: freeze it so the
+	// CachedReader traversals below are lock-free (use case 3).
+	idx.Freeze()
 	return idx
 }
 

@@ -3,23 +3,38 @@
 // the MetaHipMer paper.
 //
 // A Map partitions its entries over the ranks of a virtual PGAS machine by
-// hashing each key to an owner rank. The package provides dedicated APIs for
-// the four usage phases identified in the paper:
+// hashing each key to an owner rank. Within a rank's partition, entries are
+// further divided into a power-of-two number of independently locked
+// *stripes*, so that concurrent accesses to the same owner rank only contend
+// when they hit the same stripe. Owner selection uses the low bits of the key
+// hash (modulo the rank count) and stripe selection uses the high bits, so
+// the two are independent for any well-mixed hash.
+//
+// The package provides dedicated APIs for the four usage phases identified in
+// the paper:
 //
 //   - Use case 1, "Global Update-Only": Updater aggregates fine-grained
 //     commutative updates into per-destination batches, dramatically reducing
-//     the number of messages (and the simulated communication cost).
+//     the number of messages (and the simulated communication cost). Each
+//     flushed batch is grouped by stripe so every stripe lock is taken at
+//     most once per flush.
 //   - Use case 2, "Global Reads & Writes": Get/Put/Mutate perform one-sided
 //     reads, writes and atomic read-modify-write operations on remote entries.
 //   - Use case 3, "Global Read-Only": CachedReader adds a per-rank software
 //     cache in front of Get for phases where the table is no longer mutated.
+//     Freeze switches the whole map into a lock-free read-only phase backed
+//     by an immutable per-partition snapshot.
 //   - Use case 4, "Local Reads & Writes": Route ships items to their owner
 //     rank with a single all-to-all exchange so the owner can process them in
 //     a purely local hash table.
 package dht
 
 import (
+	"math/bits"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"mhmgo/internal/pgas"
 )
@@ -31,35 +46,111 @@ type Map[K comparable, V any] struct {
 	machine    *pgas.Machine
 	hash       func(K) uint64
 	entryBytes int
-	shards     []shard[K, V]
+
+	// stripeShift maps the high bits of a key hash to a stripe index:
+	// stripe = hash >> stripeShift. With stripeCount a power of two this
+	// selects the top log2(stripeCount) bits, which are independent of the
+	// low bits used for owner-rank selection.
+	stripeShift uint
+	stripeCount int
+
+	parts []partition[K, V]
+
+	// frozen flips the whole map into the read-only phase: reads skip the
+	// stripe locks and mutations panic. The stripe maps themselves are the
+	// immutable snapshot — no data is copied.
+	frozen atomic.Bool
 }
 
-type shard[K comparable, V any] struct {
+// partition is one rank's share of the map: an array of independently locked
+// stripes.
+type partition[K comparable, V any] struct {
+	stripes []stripe[K, V]
+}
+
+// stripe is one lock's worth of a partition. The padding keeps hot stripe
+// locks on distinct cache lines so striping actually removes contention
+// instead of moving it into false sharing.
+type stripe[K comparable, V any] struct {
 	mu   sync.Mutex
 	data map[K]V
+	_    [48]byte
+}
+
+// options collects the constructor options of a Map.
+type options struct {
+	stripes int
+}
+
+// Option configures a Map at construction time.
+type Option func(*options)
+
+// WithStripes sets the number of lock stripes per rank partition. n is
+// rounded up to a power of two; n <= 0 selects DefaultStripes. Stripe count 1
+// reproduces the historical one-lock-per-rank layout (used by the contention
+// ablation and benchmarks).
+func WithStripes(n int) Option {
+	return func(o *options) { o.stripes = n }
+}
+
+// DefaultStripes returns the default stripe count per partition:
+// max(8, GOMAXPROCS) rounded up to a power of two, so that on any machine the
+// goroutines of all ranks can simultaneously hold distinct stripe locks of a
+// single hot partition.
+func DefaultStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return ceilPow2(n)
+}
+
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
 }
 
 // NewMap creates a distributed map on the given machine. hash must be a
 // deterministic, well-mixed hash of the key; entryBytes is the approximate
 // wire size of one entry, used by the communication cost model.
-func NewMap[K comparable, V any](m *pgas.Machine, hash func(K) uint64, entryBytes int) *Map[K, V] {
+func NewMap[K comparable, V any](m *pgas.Machine, hash func(K) uint64, entryBytes int, opts ...Option) *Map[K, V] {
 	if entryBytes <= 0 {
 		entryBytes = 16
 	}
-	dm := &Map[K, V]{machine: m, hash: hash, entryBytes: entryBytes}
-	dm.shards = make([]shard[K, V], m.Ranks())
-	for i := range dm.shards {
-		dm.shards[i].data = make(map[K]V)
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	stripes := o.stripes
+	if stripes <= 0 {
+		stripes = DefaultStripes()
+	}
+	stripes = ceilPow2(stripes)
+	dm := &Map[K, V]{
+		machine:     m,
+		hash:        hash,
+		entryBytes:  entryBytes,
+		stripeCount: stripes,
+		stripeShift: uint(64 - bits.Len(uint(stripes-1))),
+	}
+	dm.parts = make([]partition[K, V], m.Ranks())
+	for i := range dm.parts {
+		dm.parts[i].stripes = make([]stripe[K, V], stripes)
+		for s := range dm.parts[i].stripes {
+			dm.parts[i].stripes[s].data = make(map[K]V)
+		}
 	}
 	return dm
 }
 
 // NewMapCollective creates a distributed map from inside an SPMD region:
 // rank 0 allocates the map and every rank receives the same instance.
-func NewMapCollective[K comparable, V any](r *pgas.Rank, hash func(K) uint64, entryBytes int) *Map[K, V] {
+func NewMapCollective[K comparable, V any](r *pgas.Rank, hash func(K) uint64, entryBytes int, opts ...Option) *Map[K, V] {
 	var dm *Map[K, V]
 	if r.ID() == 0 {
-		dm = NewMap[K, V](r.Machine(), hash, entryBytes)
+		dm = NewMap[K, V](r.Machine(), hash, entryBytes, opts...)
 	}
 	return pgas.Broadcast(r, dm)
 }
@@ -69,65 +160,93 @@ func (m *Map[K, V]) Owner(key K) int {
 	return int(m.hash(key) % uint64(m.machine.Ranks()))
 }
 
+// Stripes returns the number of lock stripes per rank partition.
+func (m *Map[K, V]) Stripes() int { return m.stripeCount }
+
 // EntryBytes returns the configured approximate entry size.
 func (m *Map[K, V]) EntryBytes() int { return m.entryBytes }
 
-// Len returns the total number of entries across all shards. It must not be
-// called concurrently with updates.
+// ownerAndStripe splits one hash evaluation into the owner rank (low bits)
+// and the stripe within that rank's partition (high bits).
+func (m *Map[K, V]) ownerAndStripe(key K) (owner int, stripe uint64) {
+	h := m.hash(key)
+	return int(h % uint64(m.machine.Ranks())), h >> m.stripeShift
+}
+
+func (m *Map[K, V]) stripeOf(key K) uint64 { return m.hash(key) >> m.stripeShift }
+
+// readPart reads key from a partition: lock-free while the map is frozen
+// (concurrent Go map reads are safe and mutators panic), under the stripe
+// lock otherwise.
+func (m *Map[K, V]) readPart(p *partition[K, V], si uint64, key K) (V, bool) {
+	s := &p.stripes[si]
+	if m.frozen.Load() {
+		v, ok := s.data[key]
+		return v, ok
+	}
+	s.mu.Lock()
+	v, ok := s.data[key]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Len returns the total number of entries across all partitions. It must not
+// be called concurrently with updates.
 func (m *Map[K, V]) Len() int {
 	total := 0
-	for i := range m.shards {
-		m.shards[i].mu.Lock()
-		total += len(m.shards[i].data)
-		m.shards[i].mu.Unlock()
+	for i := range m.parts {
+		total += m.partLen(&m.parts[i])
 	}
 	return total
 }
 
 // LocalLen returns the number of entries owned by the given rank.
-func (m *Map[K, V]) LocalLen(rank int) int {
-	s := &m.shards[rank]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.data)
+func (m *Map[K, V]) LocalLen(rank int) int { return m.partLen(&m.parts[rank]) }
+
+func (m *Map[K, V]) partLen(p *partition[K, V]) int {
+	frozen := m.frozen.Load()
+	total := 0
+	for s := range p.stripes {
+		if !frozen {
+			p.stripes[s].mu.Lock()
+		}
+		total += len(p.stripes[s].data)
+		if !frozen {
+			p.stripes[s].mu.Unlock()
+		}
+	}
+	return total
 }
 
 // Lookup reads the entry for key from outside an SPMD region (no cost is
 // charged). It is intended for coordinators, evaluation code and tests that
 // inspect the table after a parallel phase has completed.
 func (m *Map[K, V]) Lookup(key K) (V, bool) {
-	s := &m.shards[m.Owner(key)]
-	s.mu.Lock()
-	v, ok := s.data[key]
-	s.mu.Unlock()
-	return v, ok
+	owner, si := m.ownerAndStripe(key)
+	return m.readPart(&m.parts[owner], si, key)
 }
 
 // Get performs a one-sided read of the entry for key, charging the
 // appropriate communication cost to the calling rank.
 func (m *Map[K, V]) Get(r *pgas.Rank, key K) (V, bool) {
-	owner := m.Owner(key)
+	owner, si := m.ownerAndStripe(key)
 	if owner == r.ID() {
 		r.Compute(1)
 	} else {
 		r.ChargeGet(owner, m.entryBytes, 1)
 	}
-	s := &m.shards[owner]
-	s.mu.Lock()
-	v, ok := s.data[key]
-	s.mu.Unlock()
-	return v, ok
+	return m.readPart(&m.parts[owner], si, key)
 }
 
 // Put performs a one-sided write of the entry for key.
 func (m *Map[K, V]) Put(r *pgas.Rank, key K, val V) {
-	owner := m.Owner(key)
+	owner, si := m.ownerAndStripe(key)
 	if owner == r.ID() {
 		r.Compute(1)
 	} else {
 		r.ChargeSend(owner, m.entryBytes, 1)
 	}
-	s := &m.shards[owner]
+	s := m.mutableStripe(&m.parts[owner], si)
 	s.mu.Lock()
 	s.data[key] = val
 	s.mu.Unlock()
@@ -135,31 +254,31 @@ func (m *Map[K, V]) Put(r *pgas.Rank, key K, val V) {
 
 // Delete removes the entry for key, if present.
 func (m *Map[K, V]) Delete(r *pgas.Rank, key K) {
-	owner := m.Owner(key)
+	owner, si := m.ownerAndStripe(key)
 	if owner == r.ID() {
 		r.Compute(1)
 	} else {
 		r.ChargeSend(owner, 8, 1)
 	}
-	s := &m.shards[owner]
+	s := m.mutableStripe(&m.parts[owner], si)
 	s.mu.Lock()
 	delete(s.data, key)
 	s.mu.Unlock()
 }
 
-// Mutate atomically applies f to the entry for key under the owner's lock,
-// modelling a remote atomic (e.g. compare-and-swap on a "used" flag). f
+// Mutate atomically applies f to the entry for key under the owner's stripe
+// lock, modelling a remote atomic (e.g. compare-and-swap on a "used" flag). f
 // receives the current value (and whether it exists) and returns the new
 // value, whether to store it, and an arbitrary result passed back to the
 // caller. The cost of a remote atomic is charged to the calling rank.
 func Mutate[K comparable, V any, R any](m *Map[K, V], r *pgas.Rank, key K, f func(v V, found bool) (V, bool, R)) R {
-	owner := m.Owner(key)
+	owner, si := m.ownerAndStripe(key)
 	if owner == r.ID() {
 		r.Compute(2)
 	} else {
 		r.ChargeGet(owner, m.entryBytes, 1)
 	}
-	s := &m.shards[owner]
+	s := m.mutableStripe(&m.parts[owner], si)
 	s.mu.Lock()
 	cur, ok := s.data[key]
 	nv, store, res := f(cur, ok)
@@ -174,15 +293,31 @@ func Mutate[K comparable, V any, R any](m *Map[K, V], r *pgas.Rank, key K, f fun
 // callback must not call back into the same Map. Iteration order is
 // unspecified. One unit of compute is charged per entry.
 func (m *Map[K, V]) ForEachLocal(r *pgas.Rank, f func(K, V)) {
-	s := &m.shards[r.ID()]
-	s.mu.Lock()
-	keys := make([]K, 0, len(s.data))
-	vals := make([]V, 0, len(s.data))
-	for k, v := range s.data {
-		keys = append(keys, k)
-		vals = append(vals, v)
+	p := &m.parts[r.ID()]
+	if m.frozen.Load() {
+		n := 0
+		for si := range p.stripes {
+			for k, v := range p.stripes[si].data {
+				n++
+				f(k, v)
+			}
+		}
+		r.Compute(float64(n))
+		return
 	}
-	s.mu.Unlock()
+	var keys []K
+	var vals []V
+	for si := range p.stripes {
+		s := &p.stripes[si]
+		s.mu.Lock()
+		keys = slices.Grow(keys, len(s.data))
+		vals = slices.Grow(vals, len(s.data))
+		for k, v := range s.data {
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		s.mu.Unlock()
+	}
 	r.Compute(float64(len(keys)))
 	for i := range keys {
 		f(keys[i], vals[i])
@@ -192,7 +327,7 @@ func (m *Map[K, V]) ForEachLocal(r *pgas.Rank, f func(K, V)) {
 // UpdateLocal applies f to the entry for key, which must be owned by the
 // calling rank (use case 4: local reads & writes after routing).
 func (m *Map[K, V]) UpdateLocal(r *pgas.Rank, key K, f func(v V, found bool) V) {
-	s := &m.shards[r.ID()]
+	s := m.mutableStripe(&m.parts[r.ID()], m.stripeOf(key))
 	s.mu.Lock()
 	cur, ok := s.data[key]
 	s.data[key] = f(cur, ok)
@@ -200,10 +335,10 @@ func (m *Map[K, V]) UpdateLocal(r *pgas.Rank, key K, f func(v V, found bool) V) 
 	r.Compute(1)
 }
 
-// SetLocal stores a value into the calling rank's shard directly (the key
+// SetLocal stores a value into the calling rank's partition directly (the key
 // must hash to this rank; this is not checked to keep the hot path cheap).
 func (m *Map[K, V]) SetLocal(r *pgas.Rank, key K, val V) {
-	s := &m.shards[r.ID()]
+	s := m.mutableStripe(&m.parts[r.ID()], m.stripeOf(key))
 	s.mu.Lock()
 	s.data[key] = val
 	s.mu.Unlock()
@@ -213,207 +348,50 @@ func (m *Map[K, V]) SetLocal(r *pgas.Rank, key K, val V) {
 // Snapshot returns a copy of all entries in the map. It is intended for the
 // end of a parallel phase (after a barrier) and for tests.
 func (m *Map[K, V]) Snapshot() map[K]V {
+	frozen := m.frozen.Load()
 	out := make(map[K]V, m.Len())
-	for i := range m.shards {
-		m.shards[i].mu.Lock()
-		for k, v := range m.shards[i].data {
-			out[k] = v
+	for i := range m.parts {
+		p := &m.parts[i]
+		for si := range p.stripes {
+			s := &p.stripes[si]
+			if !frozen {
+				s.mu.Lock()
+			}
+			for k, v := range s.data {
+				out[k] = v
+			}
+			if !frozen {
+				s.mu.Unlock()
+			}
 		}
-		m.shards[i].mu.Unlock()
 	}
 	return out
 }
 
-// kvPair is the unit buffered by an Updater.
-type kvPair[K comparable, V any] struct {
-	key K
-	val V
+// mutableStripe returns the stripe for writing, enforcing the read-only
+// phase discipline: mutating a frozen map is a bug in the calling phase.
+func (m *Map[K, V]) mutableStripe(p *partition[K, V], si uint64) *stripe[K, V] {
+	if m.frozen.Load() {
+		panic("dht: mutation of a frozen map (call Thaw before the next write phase)")
+	}
+	return &p.stripes[si]
 }
 
-// Updater implements the "Global Update-Only" phase: commutative updates are
-// buffered per destination rank and applied in aggregated batches.
-type Updater[K comparable, V any] struct {
-	m         *Map[K, V]
-	r         *pgas.Rank
-	combine   func(existing V, update V, found bool) V
-	batches   [][]kvPair[K, V]
-	batchSize int
-	aggregate bool
-	pending   int
-}
+// Freeze atomically switches the map into the lock-free read-only phase (use
+// case 3, "Global Read-Only"): all subsequent reads (Get, Lookup,
+// CachedReader.Get, ForEachLocal, Snapshot) skip the stripe locks, and
+// mutations panic until Thaw is called. The stripe maps themselves serve as
+// the immutable snapshot — nothing is copied, so freezing the pipeline's
+// largest tables costs neither time nor memory.
+//
+// Freeze must not race with mutations: call it after the barrier that closes
+// the last write phase. It is idempotent and safe to call from every rank.
+func (m *Map[K, V]) Freeze() { m.frozen.Store(true) }
 
-// NewUpdater creates an Updater for the calling rank. combine merges an
-// incoming update into the existing entry (found reports whether an entry
-// already existed). batchSize is the number of buffered updates per
-// destination before an automatic flush; aggregate=false disables batching
-// entirely (every update becomes its own message), which is used by the
-// ablation experiments and the Ray Meta baseline.
-func (m *Map[K, V]) NewUpdater(r *pgas.Rank, combine func(existing V, update V, found bool) V, batchSize int, aggregate bool) *Updater[K, V] {
-	if batchSize <= 0 {
-		batchSize = 512
-	}
-	return &Updater[K, V]{
-		m:         m,
-		r:         r,
-		combine:   combine,
-		batches:   make([][]kvPair[K, V], m.machine.Ranks()),
-		batchSize: batchSize,
-		aggregate: aggregate,
-	}
-}
+// Thaw leaves the read-only phase, making the map mutable again. Like Freeze
+// it must be called between phases (after a barrier), not concurrently with
+// reads that still expect the frozen snapshot.
+func (m *Map[K, V]) Thaw() { m.frozen.Store(false) }
 
-// Update buffers one commutative update for key.
-func (u *Updater[K, V]) Update(key K, val V) {
-	dest := u.m.Owner(key)
-	u.batches[dest] = append(u.batches[dest], kvPair[K, V]{key: key, val: val})
-	u.pending++
-	if !u.aggregate || len(u.batches[dest]) >= u.batchSize {
-		u.flushDest(dest)
-	}
-}
-
-// Flush applies all buffered updates. It must be called before the phase's
-// closing barrier.
-func (u *Updater[K, V]) Flush() {
-	for dest := range u.batches {
-		u.flushDest(dest)
-	}
-}
-
-// Pending returns the number of buffered (unflushed) updates.
-func (u *Updater[K, V]) Pending() int { return u.pending }
-
-func (u *Updater[K, V]) flushDest(dest int) {
-	batch := u.batches[dest]
-	if len(batch) == 0 {
-		return
-	}
-	u.batches[dest] = u.batches[dest][:0]
-	u.pending -= len(batch)
-	if dest == u.r.ID() {
-		u.r.Compute(float64(len(batch)))
-	} else if u.aggregate {
-		u.r.ChargeSend(dest, len(batch)*u.m.entryBytes, 1)
-	} else {
-		u.r.ChargeSend(dest, len(batch)*u.m.entryBytes, len(batch))
-	}
-	s := &u.m.shards[dest]
-	s.mu.Lock()
-	for _, kv := range batch {
-		cur, ok := s.data[kv.key]
-		s.data[kv.key] = u.combine(cur, kv.val, ok)
-	}
-	s.mu.Unlock()
-}
-
-// CachedReader implements the "Global Read-Only" phase: a per-rank software
-// cache in front of Get. The cache must only be used while the map is not
-// being mutated (no consistency protocol is provided, as in the paper).
-type CachedReader[K comparable, V any] struct {
-	m          *Map[K, V]
-	r          *pgas.Rank
-	cache      map[K]V
-	negCache   map[K]struct{}
-	maxEntries int
-	enabled    bool
-	hits       uint64
-	misses     uint64
-}
-
-// NewCachedReader creates a software cache of at most maxEntries entries in
-// front of the map for the calling rank. enabled=false bypasses the cache
-// (used for the read-localization ablation).
-func (m *Map[K, V]) NewCachedReader(r *pgas.Rank, maxEntries int, enabled bool) *CachedReader[K, V] {
-	if maxEntries <= 0 {
-		maxEntries = 1 << 16
-	}
-	return &CachedReader[K, V]{
-		m:          m,
-		r:          r,
-		cache:      make(map[K]V),
-		negCache:   make(map[K]struct{}),
-		maxEntries: maxEntries,
-		enabled:    enabled,
-	}
-}
-
-// Get reads the entry for key, serving it from the software cache when
-// possible. Entries owned by the calling rank are always "hits".
-func (c *CachedReader[K, V]) Get(key K) (V, bool) {
-	owner := c.m.Owner(key)
-	if owner == c.r.ID() {
-		c.hits++
-		c.r.ChargeCacheHit()
-		s := &c.m.shards[owner]
-		s.mu.Lock()
-		v, ok := s.data[key]
-		s.mu.Unlock()
-		return v, ok
-	}
-	if c.enabled {
-		if v, ok := c.cache[key]; ok {
-			c.hits++
-			c.r.ChargeCacheHit()
-			return v, true
-		}
-		if _, ok := c.negCache[key]; ok {
-			c.hits++
-			c.r.ChargeCacheHit()
-			var zero V
-			return zero, false
-		}
-	}
-	c.misses++
-	c.r.ChargeCacheMiss(owner, c.m.entryBytes)
-	s := &c.m.shards[owner]
-	s.mu.Lock()
-	v, ok := s.data[key]
-	s.mu.Unlock()
-	if c.enabled {
-		if ok {
-			if len(c.cache) < c.maxEntries {
-				c.cache[key] = v
-			}
-		} else if len(c.negCache) < c.maxEntries {
-			c.negCache[key] = struct{}{}
-		}
-	}
-	return v, ok
-}
-
-// Stats returns the number of cache hits and misses recorded so far.
-func (c *CachedReader[K, V]) Stats() (hits, misses uint64) { return c.hits, c.misses }
-
-// HitRate returns the fraction of lookups served without remote
-// communication, or 0 if no lookups were made.
-func (c *CachedReader[K, V]) HitRate() float64 {
-	total := c.hits + c.misses
-	if total == 0 {
-		return 0
-	}
-	return float64(c.hits) / float64(total)
-}
-
-// Route implements the "Local Reads & Writes" pattern: every rank provides a
-// slice of items; each item is shipped to the rank chosen by ownerOf via a
-// single aggregated all-to-all exchange, and the function returns the items
-// this rank received (including its own). bytesPerItem is used for cost
-// accounting.
-func Route[T any](r *pgas.Rank, items []T, ownerOf func(T) int, bytesPerItem int) []T {
-	p := r.NRanks()
-	out := make([][]T, p)
-	for _, item := range items {
-		dest := ownerOf(item) % p
-		if dest < 0 {
-			dest += p
-		}
-		out[dest] = append(out[dest], item)
-	}
-	r.Compute(float64(len(items)))
-	incoming := pgas.AllToAll(r, out, bytesPerItem)
-	var merged []T
-	for _, batch := range incoming {
-		merged = append(merged, batch...)
-	}
-	return merged
-}
+// Frozen reports whether the map is in the read-only phase.
+func (m *Map[K, V]) Frozen() bool { return m.frozen.Load() }

@@ -1,8 +1,11 @@
 package dht
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"mhmgo/internal/pgas"
 )
@@ -340,6 +343,367 @@ func TestRoute(t *testing.T) {
 	})
 	if totalReceived != 400 {
 		t.Errorf("total routed items = %d, want 400", totalReceived)
+	}
+}
+
+func TestStripeConfiguration(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 2})
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {7, 8}, {8, 8}, {9, 16}, {63, 64},
+	}
+	for _, c := range cases {
+		dm := NewMap[int, int](m, intHash, 16, WithStripes(c.in))
+		if dm.Stripes() != c.want {
+			t.Errorf("WithStripes(%d) -> %d stripes, want %d", c.in, dm.Stripes(), c.want)
+		}
+	}
+	dm := NewMap[int, int](m, intHash, 16)
+	if dm.Stripes() != DefaultStripes() {
+		t.Errorf("default stripes = %d, want %d", dm.Stripes(), DefaultStripes())
+	}
+	if ds := DefaultStripes(); ds < 8 || ds&(ds-1) != 0 {
+		t.Errorf("DefaultStripes() = %d, want a power of two >= 8", ds)
+	}
+}
+
+func TestOwnerStripeIndependence(t *testing.T) {
+	// Keys that all hash to one owner rank (low bits) must still spread over
+	// the stripes (high bits): a hot rank's traffic is divided stripeCount
+	// ways instead of serializing on one lock.
+	m := pgas.NewMachine(pgas.Config{Ranks: 8})
+	dm := NewMap[int, int](m, intHash, 16, WithStripes(16))
+	perStripe := make(map[uint64]int)
+	n := 0
+	for k := 0; n < 4000; k++ {
+		if dm.Owner(k) != 0 {
+			continue
+		}
+		n++
+		perStripe[dm.stripeOf(k)]++
+	}
+	if len(perStripe) != 16 {
+		t.Fatalf("hot-rank keys landed on %d stripes, want all 16", len(perStripe))
+	}
+	for si, c := range perStripe {
+		if c < 4000/16/4 || c > 4000/16*4 {
+			t.Errorf("stripe %d holds %d of 4000 hot-rank keys; badly skewed", si, c)
+		}
+	}
+}
+
+func TestFreezeThaw(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	dm := NewMap[int, int](m, intHash, 16, WithStripes(4))
+	m.Run(func(r *pgas.Rank) {
+		lo, hi := r.BlockRange(400)
+		for k := lo; k < hi; k++ {
+			dm.Put(r, k, k*3)
+		}
+		r.Barrier()
+		dm.Freeze() // idempotent, every rank may call it
+		if !dm.Frozen() {
+			t.Error("map not frozen after Freeze")
+		}
+		// Lock-free reads see the full table.
+		for k := 0; k < 400; k++ {
+			if v, ok := dm.Get(r, k); !ok || v != k*3 {
+				t.Errorf("frozen Get(%d) = %d,%v", k, v, ok)
+			}
+		}
+		c := dm.NewCachedReader(r, 1024, true)
+		c.Freeze() // delegates to the map; still idempotent
+		for k := 0; k < 400; k++ {
+			if v, ok := c.Get(k); !ok || v != k*3 {
+				t.Errorf("frozen cached Get(%d) = %d,%v", k, v, ok)
+			}
+		}
+		n := 0
+		dm.ForEachLocal(r, func(k, v int) { n++ })
+		if n != dm.LocalLen(r.ID()) {
+			t.Errorf("frozen ForEachLocal visited %d entries, LocalLen = %d", n, dm.LocalLen(r.ID()))
+		}
+	})
+	if dm.Len() != 400 {
+		t.Errorf("frozen Len = %d, want 400", dm.Len())
+	}
+	if snap := dm.Snapshot(); len(snap) != 400 || snap[7] != 21 {
+		t.Errorf("frozen Snapshot wrong: len=%d snap[7]=%d", len(snap), snap[7])
+	}
+
+	// Mutating a frozen map is a phase-discipline bug and must panic. The
+	// recover has to live inside the rank body: panics do not cross
+	// goroutines.
+	m.Run(func(r *pgas.Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("Put on frozen map did not panic")
+			}
+		}()
+		dm.Put(r, 12345, 1)
+	})
+
+	// Thaw re-enables writes.
+	dm.Thaw()
+	if dm.Frozen() {
+		t.Error("map still frozen after Thaw")
+	}
+	m.Run(func(r *pgas.Rank) {
+		if r.ID() == 0 {
+			dm.Put(r, 10000, 1)
+		}
+	})
+	if dm.Len() != 401 {
+		t.Errorf("Len after thawed Put = %d, want 401", dm.Len())
+	}
+}
+
+// hotRankKeys returns n keys that all hash to owner rank 0 of dm.
+func hotRankKeys(dm *Map[int, int], n int) []int {
+	keys := make([]int, 0, n)
+	for k := 0; len(keys) < n; k++ {
+		if dm.Owner(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestSingleOwnerStress drives every rank's traffic at a single hot owner
+// rank through all three mutation APIs and asserts the final counts are
+// exact. Run with -race, this is the regression test for stripe-level
+// synchronization.
+func TestSingleOwnerStress(t *testing.T) {
+	const (
+		ranks   = 8
+		nKeys   = 64
+		perRank = 2000
+	)
+	for _, stripes := range []int{1, 4, 0} {
+		m := pgas.NewMachine(pgas.Config{Ranks: ranks})
+		dm := NewMap[int, int](m, intHash, 16, WithStripes(stripes))
+		keys := hotRankKeys(dm, nKeys)
+		add := func(e, v int, ok bool) int { return e + v }
+		m.Run(func(r *pgas.Rank) {
+			u := dm.NewUpdater(r, add, 128, true)
+			for i := 0; i < perRank; i++ {
+				key := keys[(i+r.ID())%nKeys]
+				// One remote atomic, one buffered update, one direct write
+				// (Put of an unrelated per-rank key) per iteration.
+				Mutate(dm, r, key, func(v int, found bool) (int, bool, int) {
+					return v + 1, true, 0
+				})
+				u.Update(key, 1)
+				dm.Put(r, 1_000_000+r.ID()*perRank+i, 1)
+			}
+			u.Flush()
+			r.Barrier()
+		})
+		snap := dm.Snapshot()
+		total := 0
+		for _, k := range keys {
+			total += snap[k]
+		}
+		want := 2 * ranks * perRank // Mutate + Updater contributions
+		if total != want {
+			t.Errorf("stripes=%d: hot keys sum to %d, want %d", stripes, total, want)
+		}
+		if dm.Len() != nKeys+ranks*perRank {
+			t.Errorf("stripes=%d: Len = %d, want %d", stripes, dm.Len(), nKeys+ranks*perRank)
+		}
+	}
+}
+
+// TestStripingContentionSpeedup asserts the headline claim of the striped
+// layout: with enough physical parallelism for the rank goroutines to
+// actually contend, Mutate throughput against a single hot owner rank is at
+// least 2x higher with striping than with the historical single lock. On
+// machines with fewer than 8 CPUs the goroutines are time-sliced rather than
+// parallel, a single uncontended lock costs nearly nothing, and the effect
+// cannot manifest — the test skips with an explanation rather than pretend.
+func TestStripingContentionSpeedup(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation distorts contention timing; " +
+			"run without -race for the speedup assertion")
+	}
+	const (
+		ranks   = 8
+		perRank = 300_000
+	)
+	// Gate on *measured* parallelism, not runtime.NumCPU(): cgroup CPU quotas
+	// and loaded machines can leave far fewer effective cores than NumCPU
+	// reports, and without real parallelism an uncontended single lock costs
+	// almost nothing, so the striping effect cannot manifest. The threshold
+	// sits well above a 4-core machine's ideal scaling so it cannot arm
+	// nondeterministically at that boundary.
+	if speedup := measuredParallelSpeedup(ranks); speedup < 6 {
+		t.Skipf("lock-free control workload scales only %.1fx over %d goroutines; "+
+			"not enough effective parallelism to exhibit lock contention "+
+			"(run BenchmarkDHTContention for the per-op numbers on this machine)",
+			speedup, ranks)
+	}
+	throughput := func(stripes int) float64 {
+		best := 0.0
+		for attempt := 0; attempt < 3; attempt++ {
+			m := pgas.NewMachine(pgas.Config{Ranks: ranks})
+			dm := NewMap[int, int](m, intHash, 16, WithStripes(stripes))
+			keys := hotRankKeys(dm, 1024)
+			res := m.Run(func(r *pgas.Rank) {
+				for i := 0; i < perRank; i++ {
+					Mutate(dm, r, keys[(i*ranks+r.ID())&1023], func(v int, found bool) (int, bool, int) {
+						return v + 1, true, 0
+					})
+				}
+			})
+			if ops := float64(ranks*perRank) / res.Wall.Seconds(); ops > best {
+				best = ops
+			}
+		}
+		return best
+	}
+	single := throughput(1)
+	striped := throughput(0)
+	t.Logf("single-lock: %.1f Mops/s, striped: %.1f Mops/s (%.2fx)",
+		single/1e6, striped/1e6, striped/single)
+	if striped < 2*single {
+		// Guard against load that arrived mid-test: if the machine can no
+		// longer deliver the parallelism the gate saw, the measurement is
+		// void, not a regression.
+		if speedup := measuredParallelSpeedup(ranks); speedup < 6 {
+			t.Skipf("parallelism degraded to %.1fx during the test (external load); measurement void", speedup)
+		}
+		t.Errorf("striped throughput %.1f Mops/s is less than 2x the single-lock %.1f Mops/s",
+			striped/1e6, single/1e6)
+	}
+}
+
+// measuredParallelSpeedup runs a lock-free, share-nothing hash workload once
+// on a single goroutine and once split over n goroutines, and returns the
+// observed speedup — an empirical measure of how much parallelism the
+// machine can actually deliver right now.
+func measuredParallelSpeedup(n int) float64 {
+	const totalOps = 8_000_000
+	work := func(lo, hi int) uint64 {
+		var acc uint64
+		for i := lo; i < hi; i++ {
+			acc ^= intHash(i)
+		}
+		return acc
+	}
+	start := time.Now()
+	sink := work(0, totalOps)
+	seq := time.Since(start)
+
+	var wg sync.WaitGroup
+	accs := make([]uint64, n)
+	start = time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			accs[g] = work(g*totalOps/n, (g+1)*totalOps/n)
+		}(g)
+	}
+	wg.Wait()
+	par := time.Since(start)
+	for _, a := range accs {
+		sink ^= a
+	}
+	runtime.KeepAlive(sink)
+	return seq.Seconds() / par.Seconds()
+}
+
+// BenchmarkDHTContention measures Mutate throughput when every rank hammers
+// keys owned by a single hot rank — the workload that serialized on one
+// mutex before lock striping. stripes=1 reproduces the historical layout.
+func BenchmarkDHTContention(b *testing.B) {
+	b.Run("stripes=1", func(b *testing.B) { benchmarkContention(b, 1) })
+	b.Run("striped", func(b *testing.B) { benchmarkContention(b, 0) })
+}
+
+func benchmarkContention(b *testing.B, stripes int) {
+	const ranks = 8
+	// Contention only manifests when the rank goroutines actually run on
+	// multiple Ps. On small CI machines, pin GOMAXPROCS to the rank count
+	// (the same knob `go test -cpu` turns) so the single-lock layout pays
+	// its real cross-thread handoff cost.
+	if runtime.GOMAXPROCS(0) < ranks {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(ranks))
+	}
+	m := pgas.NewMachine(pgas.Config{Ranks: ranks})
+	dm := NewMap[int, int](m, intHash, 16, WithStripes(stripes))
+	keys := hotRankKeys(dm, 1024)
+	b.ResetTimer()
+	m.Run(func(r *pgas.Rank) {
+		for i := r.ID(); i < b.N; i += ranks {
+			Mutate(dm, r, keys[i&1023], func(v int, found bool) (int, bool, int) {
+				return v + 1, true, 0
+			})
+		}
+	})
+}
+
+// BenchmarkDHTFrozenReads measures the read-only phase with and without
+// Freeze: frozen reads skip the stripe lock entirely and hit one immutable
+// map, which pays off even without physical parallelism.
+func BenchmarkDHTFrozenReads(b *testing.B) {
+	for _, frozen := range []bool{false, true} {
+		name := "locked"
+		if frozen {
+			name = "frozen"
+		}
+		b.Run(name, func(b *testing.B) {
+			const ranks = 8
+			m := pgas.NewMachine(pgas.Config{Ranks: ranks})
+			dm := NewMap[int, int](m, intHash, 16)
+			keys := hotRankKeys(dm, 1024)
+			m.Run(func(r *pgas.Rank) {
+				if r.ID() == 0 {
+					for _, k := range keys {
+						dm.Put(r, k, k)
+					}
+				}
+			})
+			if frozen {
+				dm.Freeze()
+			}
+			b.ResetTimer()
+			m.Run(func(r *pgas.Rank) {
+				for i := r.ID(); i < b.N; i += ranks {
+					dm.Get(r, keys[i&1023])
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkDHTUpdaterFlush measures the aggregated update phase against a
+// single hot rank: striped flushes take each stripe lock once per batch.
+func BenchmarkDHTUpdaterFlush(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		stripes int
+	}{{"stripes=1", 1}, {"striped", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			const ranks = 8
+			if runtime.GOMAXPROCS(0) < ranks {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(ranks))
+			}
+			m := pgas.NewMachine(pgas.Config{Ranks: ranks})
+			dm := NewMap[int, int](m, intHash, 16, WithStripes(cfg.stripes))
+			keys := hotRankKeys(dm, 1024)
+			add := func(e, v int, ok bool) int { return e + v }
+			b.ResetTimer()
+			m.Run(func(r *pgas.Rank) {
+				u := dm.NewUpdater(r, add, 256, true)
+				for i := r.ID(); i < b.N; i += ranks {
+					u.Update(keys[i&1023], 1)
+				}
+				u.Flush()
+			})
+		})
 	}
 }
 

@@ -1,0 +1,99 @@
+package dht_test
+
+import (
+	"fmt"
+
+	"mhmgo/internal/dht"
+	"mhmgo/internal/pgas"
+)
+
+func exampleHash(k int) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return x
+}
+
+// ExampleMap shows use case 2, "Global Reads & Writes": one-sided Put/Get
+// plus an atomic Mutate, from every rank of a virtual machine.
+func ExampleMap() {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	dm := dht.NewMap[int, string](m, exampleHash, 32)
+	m.Run(func(r *pgas.Rank) {
+		// Every rank writes one entry; the key's hash picks the owner rank.
+		dm.Put(r, r.ID(), fmt.Sprintf("from rank %d", r.ID()))
+		r.Barrier()
+		// Atomically claim key 100: exactly one rank wins the race.
+		dht.Mutate(dm, r, 100, func(v string, found bool) (string, bool, bool) {
+			if found {
+				return v, false, false
+			}
+			return "claimed", true, true
+		})
+	})
+	v, ok := dm.Lookup(2)
+	fmt.Println(v, ok)
+	fmt.Println(dm.Len())
+	// Output:
+	// from rank 2 true
+	// 5
+}
+
+// ExampleMap_NewUpdater shows use case 1, "Global Update-Only": commutative
+// updates buffered per destination rank and applied in aggregated batches,
+// as in the paper's k-mer counting phase.
+func ExampleMap_NewUpdater() {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	counts := dht.NewMap[int, int](m, exampleHash, 16)
+	m.Run(func(r *pgas.Rank) {
+		add := func(existing, update int, found bool) int { return existing + update }
+		u := counts.NewUpdater(r, add, 64, true)
+		// Every rank observes the same 10 "k-mers" 5 times each.
+		for pass := 0; pass < 5; pass++ {
+			for kmer := 0; kmer < 10; kmer++ {
+				u.Update(kmer, 1)
+			}
+		}
+		u.Flush() // required before the phase's closing barrier
+		r.Barrier()
+	})
+	fmt.Println(counts.Len())
+	v, _ := counts.Lookup(7)
+	fmt.Println(v) // 4 ranks x 5 passes
+	// Output:
+	// 10
+	// 20
+}
+
+// ExampleMap_NewCachedReader shows use case 3, "Global Read-Only": once the
+// table is no longer mutated, Freeze switches it to lock-free snapshot reads
+// and the per-rank software cache absorbs repeated remote lookups.
+func ExampleMap_NewCachedReader() {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	dm := dht.NewMap[int, int](m, exampleHash, 16)
+	m.Run(func(r *pgas.Rank) {
+		if r.ID() == 0 {
+			for k := 0; k < 100; k++ {
+				dm.Put(r, k, k*k)
+			}
+		}
+		r.Barrier()
+
+		// The write phase is over: read lock-free from an immutable snapshot.
+		c := dm.NewCachedReader(r, 1024, true)
+		c.Freeze()
+		for pass := 0; pass < 10; pass++ {
+			for k := 0; k < 100; k++ {
+				c.Get(k)
+			}
+		}
+		if r.ID() == 0 {
+			fmt.Printf("hit rate > 80%%: %v\n", c.HitRate() > 0.8)
+		}
+	})
+	fmt.Println(dm.Frozen())
+	// Output:
+	// hit rate > 80%: true
+	// true
+}

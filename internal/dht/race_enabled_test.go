@@ -1,0 +1,7 @@
+//go:build race
+
+package dht
+
+// raceEnabled reports whether this test binary was built with -race, whose
+// instrumentation overhead distorts lock-contention timing measurements.
+const raceEnabled = true

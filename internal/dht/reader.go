@@ -1,0 +1,95 @@
+package dht
+
+import "mhmgo/internal/pgas"
+
+// CachedReader implements the "Global Read-Only" phase: a per-rank software
+// cache in front of Get. The cache must only be used while the map is not
+// being mutated (no consistency protocol is provided, as in the paper).
+//
+// For phases where the whole table is known to be read-only, Freeze
+// additionally switches the underlying map to lock-free reads from an
+// immutable snapshot, removing all lock traffic from the read hot path.
+type CachedReader[K comparable, V any] struct {
+	m          *Map[K, V]
+	r          *pgas.Rank
+	cache      map[K]V
+	negCache   map[K]struct{}
+	maxEntries int
+	enabled    bool
+	hits       uint64
+	misses     uint64
+}
+
+// NewCachedReader creates a software cache of at most maxEntries entries in
+// front of the map for the calling rank. enabled=false bypasses the cache
+// (used for the read-localization ablation).
+func (m *Map[K, V]) NewCachedReader(r *pgas.Rank, maxEntries int, enabled bool) *CachedReader[K, V] {
+	if maxEntries <= 0 {
+		maxEntries = 1 << 16
+	}
+	return &CachedReader[K, V]{
+		m:          m,
+		r:          r,
+		cache:      make(map[K]V),
+		negCache:   make(map[K]struct{}),
+		maxEntries: maxEntries,
+		enabled:    enabled,
+	}
+}
+
+// Freeze switches the underlying map into the lock-free read-only phase (see
+// Map.Freeze). The software cache keeps working as before — freezing removes
+// lock contention from reads, not their simulated communication cost, so
+// caching remote entries still pays off. Safe to call from every rank after
+// the barrier closing the last write phase; the first caller does the work.
+func (c *CachedReader[K, V]) Freeze() { c.m.Freeze() }
+
+// Get reads the entry for key, serving it from the software cache when
+// possible. Entries owned by the calling rank are always "hits".
+func (c *CachedReader[K, V]) Get(key K) (V, bool) {
+	owner, si := c.m.ownerAndStripe(key)
+	if owner == c.r.ID() {
+		c.hits++
+		c.r.ChargeCacheHit()
+		return c.m.readPart(&c.m.parts[owner], si, key)
+	}
+	if c.enabled {
+		if v, ok := c.cache[key]; ok {
+			c.hits++
+			c.r.ChargeCacheHit()
+			return v, true
+		}
+		if _, ok := c.negCache[key]; ok {
+			c.hits++
+			c.r.ChargeCacheHit()
+			var zero V
+			return zero, false
+		}
+	}
+	c.misses++
+	c.r.ChargeCacheMiss(owner, c.m.entryBytes)
+	v, ok := c.m.readPart(&c.m.parts[owner], si, key)
+	if c.enabled {
+		if ok {
+			if len(c.cache) < c.maxEntries {
+				c.cache[key] = v
+			}
+		} else if len(c.negCache) < c.maxEntries {
+			c.negCache[key] = struct{}{}
+		}
+	}
+	return v, ok
+}
+
+// Stats returns the number of cache hits and misses recorded so far.
+func (c *CachedReader[K, V]) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// HitRate returns the fraction of lookups served without remote
+// communication, or 0 if no lookups were made.
+func (c *CachedReader[K, V]) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

@@ -1,0 +1,31 @@
+package dht
+
+import "mhmgo/internal/pgas"
+
+// Route implements the "Local Reads & Writes" pattern: every rank provides a
+// slice of items; each item is shipped to the rank chosen by ownerOf via a
+// single aggregated all-to-all exchange, and the function returns the items
+// this rank received (including its own). bytesPerItem is used for cost
+// accounting.
+//
+// After routing, the owner typically applies the items with UpdateLocal /
+// SetLocal, which go straight to the owning partition's stripes without any
+// remote charging.
+func Route[T any](r *pgas.Rank, items []T, ownerOf func(T) int, bytesPerItem int) []T {
+	p := r.NRanks()
+	out := make([][]T, p)
+	for _, item := range items {
+		dest := ownerOf(item) % p
+		if dest < 0 {
+			dest += p
+		}
+		out[dest] = append(out[dest], item)
+	}
+	r.Compute(float64(len(items)))
+	incoming := pgas.AllToAll(r, out, bytesPerItem)
+	var merged []T
+	for _, batch := range incoming {
+		merged = append(merged, batch...)
+	}
+	return merged
+}

@@ -40,6 +40,11 @@ type Options struct {
 	// QualThreshold ignores extension observations whose base quality is
 	// below this Phred score (0 disables quality filtering).
 	QualThreshold int
+	// TableStripes is the number of lock stripes per rank partition of the
+	// counts table (rounded up to a power of two); 0 selects
+	// dht.DefaultStripes. Stripe count 1 reproduces the historical
+	// one-lock-per-rank table for contention ablations.
+	TableStripes int
 }
 
 // DefaultOptions returns the options used by the pipeline.
@@ -84,8 +89,8 @@ type observation struct {
 func kmerHash(k seq.Kmer) uint64 { return k.Hash() }
 
 // NewCountsMap creates the distributed k-mer counts table.
-func NewCountsMap(m *pgas.Machine) *dht.Map[seq.Kmer, seq.KmerCount] {
-	return dht.NewMap[seq.Kmer, seq.KmerCount](m, kmerHash, 40)
+func NewCountsMap(m *pgas.Machine, opts ...dht.Option) *dht.Map[seq.Kmer, seq.KmerCount] {
+	return dht.NewMap[seq.Kmer, seq.KmerCount](m, kmerHash, 40, opts...)
 }
 
 // Run performs k-mer analysis over the calling rank's block of reads. It is
@@ -103,7 +108,8 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 		opts.BatchSize = 1024
 	}
 	if counts == nil {
-		counts = dht.NewMapCollective[seq.Kmer, seq.KmerCount](r, kmerHash, 40)
+		counts = dht.NewMapCollective[seq.Kmer, seq.KmerCount](r, kmerHash, 40,
+			dht.WithStripes(opts.TableStripes))
 	}
 
 	// Phase 1: extract observations from local reads and route them to the

@@ -140,6 +140,8 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 	}
 	pool.Flush()
 	r.Barrier()
+	// Recruitment is complete; the mer-walks below only read the pool.
+	readPool.Freeze()
 
 	// Step 2: walk the contigs. The recruited reads live in the global
 	// address space, so any rank can process any contig; the dynamic
@@ -168,7 +170,9 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 			return
 		}
 		// Sort for determinism: the DHT accumulates read batches in rank
-		// arrival order, which is timing-dependent.
+		// arrival order, which is timing-dependent. Sort a copy — the pool is
+		// frozen and the stored slice is the shared immutable snapshot.
+		rds = append([][]byte(nil), rds...)
 		sort.Slice(rds, func(i, j int) bool { return string(rds[i]) < string(rds[j]) })
 		newSeq, added := extendContig(r, c.Seq, rds, opts)
 		if added > 0 {

@@ -213,6 +213,8 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 	}
 	u.Flush()
 	r.Barrier()
+	// Link generation is complete; assessment only reads the table.
+	linkTable.Freeze()
 
 	// Step 2: assess links locally on their owner ranks (Local Reads &
 	// Writes phase) and gather the accepted edges everywhere.
