@@ -70,5 +70,9 @@ func main() {
 	for _, st := range pgas.SortStages(res.Stages) {
 		fmt.Printf("  %-16s %.4f\n", st.Name, st.Seconds)
 	}
+	s := res.Stats
+	fmt.Printf("communication: %d msgs (%d off-node), %.1f MB sent, %.1f MB received, %.1f MB off-node\n",
+		s.Messages, s.OffNodeMessages,
+		float64(s.BytesSent)/1e6, float64(s.BytesReceived)/1e6, float64(s.OffNodeBytes)/1e6)
 	fmt.Printf("wrote %d sequences to %s\n", len(seqs), *out)
 }

@@ -276,9 +276,10 @@ func extend(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse
 }
 
 // GatherAlignments collects every rank's alignments, sorted by ReadIdx, onto
-// all ranks.
+// all ranks. The gather is charged by actual payload size: six words of
+// coordinates plus the read identifier per alignment.
 func GatherAlignments(r *pgas.Rank, local []Alignment) []Alignment {
-	all := pgas.Gather(r, local)
+	all := pgas.GatherVFunc(r, local, func(a Alignment) int { return 48 + len(a.ReadID) })
 	var merged []Alignment
 	for _, as := range all {
 		merged = append(merged, as...)

@@ -248,7 +248,7 @@ func maxID(contigs []dbg.Contig) int {
 // broadcastRemovals merges per-rank removal lists and applies them to the
 // alive mask on every rank, returning the global number of removals.
 func (g *graph) broadcastRemovals(r *pgas.Rank, local []int) int {
-	all := pgas.Gather(r, local)
+	all := pgas.GatherV(r, local, 8)
 	n := 0
 	for _, ids := range all {
 		for _, id := range ids {

@@ -155,7 +155,7 @@ func (g *graph) compact(r *pgas.Rank, survivors []dbg.Contig, opts Options) ([]d
 
 	// Gather the compacted contigs from all ranks and deduplicate (the same
 	// palindromic chain may be emitted from both ends).
-	all := pgas.Gather(r, localOut)
+	all := pgas.GatherVFunc(r, localOut, func(c dbg.Contig) int { return 16 + len(c.Seq) })
 	var out []dbg.Contig
 	for _, cs := range all {
 		out = append(out, cs...)
@@ -176,6 +176,6 @@ func (g *graph) compact(r *pgas.Rank, survivors []dbg.Contig, opts Options) ([]d
 		prev = s
 		dedup = append(dedup, c)
 	}
-	totalMerged := int(r.AllReduceInt64(int64(mergedCount), pgas.ReduceSum))
+	totalMerged := pgas.AllReduce(r, mergedCount, pgas.ReduceSum)
 	return dedup, totalMerged
 }

@@ -35,6 +35,9 @@ type Config struct {
 	Ranks        int
 	RanksPerNode int
 	Cost         pgas.CostModel
+	// CostSet uses Cost verbatim even when it is the zero model (the
+	// free-communication ablation); see pgas.Config.CostSet.
+	CostSet bool
 
 	// Iterative contig generation: k runs from KMin to KMax in steps of
 	// KStep (Algorithm 1).
@@ -220,7 +223,7 @@ func Assemble(reads []seq.Read, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: no reads to assemble")
 	}
 
-	machine := pgas.NewMachine(pgas.Config{Ranks: cfg.Ranks, RanksPerNode: cfg.RanksPerNode, Cost: cfg.Cost})
+	machine := pgas.NewMachine(pgas.Config{Ranks: cfg.Ranks, RanksPerNode: cfg.RanksPerNode, Cost: cfg.Cost, CostSet: cfg.CostSet})
 	res := &Result{TotalReads: len(reads)}
 
 	perRank := make([]rankOutput, cfg.Ranks)
@@ -330,8 +333,8 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 		lastAligns = aligns
 		alignedLocal := int64(astats.ReadsAligned)
 		totalLocal := int64(astats.ReadsTotal)
-		alignedAll := r.AllReduceInt64(alignedLocal, pgas.ReduceSum)
-		totalAll := r.AllReduceInt64(totalLocal, pgas.ReduceSum)
+		alignedAll := pgas.AllReduce(r, alignedLocal, pgas.ReduceSum)
+		totalAll := pgas.AllReduce(r, totalLocal, pgas.ReduceSum)
 		if totalAll > 0 {
 			out.alignedFrac = float64(alignedAll) / float64(totalAll)
 		}

@@ -166,6 +166,36 @@ func TestScalingReducesSimulatedTime(t *testing.T) {
 	}
 }
 
+func TestFreeCommunicationAblation(t *testing.T) {
+	// CostSet with a zero cost model must run the whole pipeline with zero
+	// simulated time (every operation still executes and is counted), and
+	// must produce the same assembly as the default-cost run.
+	_, reads := smallCommunity(t, 2, 12)
+	free := testConfig(4)
+	free.CostSet = true
+	freeRes, err := Assemble(reads, free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freeRes.SimSeconds != 0 {
+		t.Errorf("free-communication run charged %v simulated seconds, want 0", freeRes.SimSeconds)
+	}
+	if freeRes.Stats.Messages == 0 {
+		t.Error("free-communication run should still count its messages")
+	}
+	paidRes, err := Assemble(reads, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paidRes.SimSeconds <= 0 {
+		t.Error("default-cost run should charge simulated time")
+	}
+	if len(freeRes.FinalSequences()) != len(paidRes.FinalSequences()) {
+		t.Errorf("cost model must not change assembly results: %d vs %d sequences",
+			len(freeRes.FinalSequences()), len(paidRes.FinalSequences()))
+	}
+}
+
 func TestDepthDependentThresholdBeatsGlobalOnQuality(t *testing.T) {
 	comm, reads := smallCommunity(t, 3, 25)
 	meta := testConfig(4)

@@ -279,7 +279,7 @@ func (g *Graph) walk(r *pgas.Rank, start oriented, e Entry, maxSteps int) ([]byt
 // IDs (sorted by descending length, then sequence, for determinism), and
 // returns the full set on every rank.
 func GatherContigs(r *pgas.Rank, local []Contig) []Contig {
-	all := pgas.Gather(r, local)
+	all := pgas.GatherVFunc(r, local, func(c Contig) int { return 16 + len(c.Seq) })
 	var merged []Contig
 	for _, cs := range all {
 		merged = append(merged, cs...)

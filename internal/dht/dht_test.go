@@ -236,6 +236,36 @@ func TestUpdaterLocalShortcut(t *testing.T) {
 	}
 }
 
+func TestUpdaterFlushAllStaggered(t *testing.T) {
+	// FlushAll walks the destinations starting at the caller's own rank (so
+	// concurrent end-of-phase flushes don't convoy on partition 0); the
+	// staggered order must change neither the contents nor the charged cost.
+	for _, p := range []int{1, 3, 8} {
+		m := pgas.NewMachine(pgas.Config{Ranks: p})
+		dm := NewMap[int, int](m, intHash, 16)
+		res := m.Run(func(r *pgas.Rank) {
+			u := dm.NewUpdater(r, func(e, v int, ok bool) int { return e + v }, 1<<20, true)
+			for i := 0; i < 300; i++ {
+				u.Update(i, 1)
+			}
+			u.FlushAll()
+			if u.Pending() != 0 {
+				t.Errorf("p=%d rank %d: %d updates still pending after FlushAll", p, r.ID(), u.Pending())
+			}
+			r.Barrier()
+		})
+		for i := 0; i < 300; i++ {
+			if v, ok := dm.Lookup(i); !ok || v != p {
+				t.Errorf("p=%d key %d = %d (found=%v), want %d", p, i, v, ok, p)
+			}
+		}
+		// One aggregated message per non-local destination per rank.
+		if want := uint64(p * (p - 1)); res.Stats.Messages != want {
+			t.Errorf("p=%d: %d messages, want %d", p, res.Stats.Messages, want)
+		}
+	}
+}
+
 func TestForEachLocalAndUpdateLocal(t *testing.T) {
 	m := pgas.NewMachine(pgas.Config{Ranks: 4})
 	dm := NewMap[int, int](m, intHash, 16)

@@ -65,9 +65,20 @@ func (u *Updater[K, V]) Update(key K, val V) {
 
 // Flush applies all buffered updates. It must be called before the phase's
 // closing barrier.
-func (u *Updater[K, V]) Flush() {
-	for dest := range u.batches {
-		u.flushDest(dest)
+func (u *Updater[K, V]) Flush() { u.FlushAll() }
+
+// FlushAll flushes every destination's buffered batch, starting at the
+// calling rank's own partition and wrapping around. When every rank flushes
+// at the end of a phase simultaneously, a fixed 0..P-1 order would march all
+// ranks through partition 0's stripe locks together (a lock convoy that
+// serializes the wall-clock flush); staggering the start by rank ID spreads
+// the flushes across all partitions. The updates are commutative, so the
+// order does not affect the result.
+func (u *Updater[K, V]) FlushAll() {
+	p := len(u.batches)
+	start := u.r.ID()
+	for i := 0; i < p; i++ {
+		u.flushDest((start + i) % p)
 	}
 }
 

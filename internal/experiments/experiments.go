@@ -582,7 +582,7 @@ func mapBackFraction(reads []seq.Read, res *core.Result, s Scale) float64 {
 		idx := aligner.BuildIndex(r, contigs, opts)
 		lo, hi := r.PairBlockRange(len(reads))
 		got, _ := aligner.AlignReads(r, idx, reads[lo:hi], lo, opts)
-		total := r.AllReduceInt64(int64(len(got)), pgas.ReduceSum)
+		total := pgas.AllReduce(r, int64(len(got)), pgas.ReduceSum)
 		if r.ID() == 0 {
 			aligned = total
 		}

@@ -206,10 +206,10 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 
 	// Phase 4: merge scalar statistics and heavy hitters across ranks.
 	res := Result{Counts: counts}
-	res.TotalKmers = r.AllReduceInt64(totalLocal, pgas.ReduceSum)
-	res.DistinctKmers = int(r.AllReduceInt64(int64(counts.LocalLen(r.ID())), pgas.ReduceSum))
+	res.TotalKmers = pgas.AllReduce(r, totalLocal, pgas.ReduceSum)
+	res.DistinctKmers = pgas.AllReduce(r, counts.LocalLen(r.ID()), pgas.ReduceSum)
 	if hh != nil {
-		all := pgas.Gather(r, hh.Items())
+		all := pgas.GatherV(r, hh.Items(), 25) // two packed words + k + count
 		merged := histo.NewHeavyHitters[seq.Kmer](opts.HeavyHitterCapacity)
 		for _, items := range all {
 			for _, it := range items {

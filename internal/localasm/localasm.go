@@ -215,7 +215,7 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		localExts = append(localExts, extRecord{Idx: idx, Seq: s})
 	}
 	sort.Slice(localExts, func(i, j int) bool { return localExts[i].Idx < localExts[j].Idx })
-	all := pgas.Gather(r, localExts)
+	all := pgas.GatherVFunc(r, localExts, func(e extRecord) int { return 8 + len(e.Seq) })
 	out := make([]dbg.Contig, len(contigs))
 	copy(out, contigs)
 	for _, exts := range all {
@@ -224,9 +224,9 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		}
 	}
 	res := Result{Contigs: out}
-	res.ExtendedBases = int(r.AllReduceInt64(int64(extendedBases), pgas.ReduceSum))
-	res.ContigsTouched = int(r.AllReduceInt64(int64(touched), pgas.ReduceSum))
-	res.Steals = int(r.AllReduceInt64(int64(steals), pgas.ReduceSum))
+	res.ExtendedBases = pgas.AllReduce(r, extendedBases, pgas.ReduceSum)
+	res.ContigsTouched = pgas.AllReduce(r, touched, pgas.ReduceSum)
+	res.Steals = pgas.AllReduce(r, steals, pgas.ReduceSum)
 	r.Barrier()
 	return res
 }

@@ -1,0 +1,360 @@
+// Collective operations of the virtual PGAS machine.
+//
+// All collectives share one discipline: data moves through the machine's
+// shared buffers (the ranks really run concurrently, so barriers provide the
+// happens-before edges), while *cost* is charged as if the collective ran on
+// a tree network. A Cray-class machine executes reductions, broadcasts and
+// gathers in ceil(log2 P) rounds, not as P serialized messages to rank 0, so
+// that is what the cost model charges:
+//
+//   - AllReduce / Gather / GatherV follow the recursive-doubling (hypercube)
+//     schedule: in round k each rank exchanges its accumulated block with
+//     partner id XOR 2^k. With RanksPerNode a power of two the first
+//     log2(RanksPerNode) rounds stay on-node and only the remaining rounds
+//     pay off-node latency and bandwidth, so node-aware placement matters to
+//     collectives exactly as it does to point-to-point traffic.
+//   - Broadcast follows the binomial doubling schedule rooted at rank 0: in
+//     round k ranks below 2^k forward to id+2^k. Rank 0 sends every round,
+//     which makes its clock the ceil(log2 P)-hop critical path.
+//
+// Sizes are charged honestly. GatherV charges the actual payload bytes of
+// every block it forwards (the recursive-doubling block grows as 2^k ranks'
+// payloads), so gathering all alignments is no longer priced like gathering
+// eight integers. Scalar collectives charge scalarBytes per element.
+package pgas
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Number is the constraint of the typed exact reductions: any fixed-size
+// numeric type. Reductions combine values natively — an int64 sum is exact
+// int64 arithmetic, never a float64 round-trip.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// ReduceOp selects the combining function of an all-reduce.
+type ReduceOp int
+
+// Supported reductions.
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMax
+	ReduceMin
+)
+
+func combine[T Number](op ReduceOp, a, b T) T {
+	switch op {
+	case ReduceMax:
+		if a > b {
+			return a
+		}
+		return b
+	case ReduceMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		return a + b
+	}
+}
+
+// scalarBytes is the wire size charged per element of the scalar collectives
+// (AllReduce, Broadcast, Gather of one value): one 8-byte word.
+const scalarBytes = 8
+
+// collSlot is what a rank deposits in the shared gather buffer: its payload
+// and the payload's wire size, so every rank can reconstruct the exact
+// per-round block sizes of the tree schedule after the entry barrier.
+type collSlot struct {
+	payload any
+	bytes   int
+}
+
+// ceilLog2 returns ceil(log2(n)) — the number of rounds of a binomial-tree
+// collective over n participants.
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// chargeDuplexHop charges one round of a recursive-doubling exchange with
+// partner: a full-duplex send of sendBytes and receive of recvBytes in one
+// message time. The round costs one latency plus the larger direction's
+// bandwidth term (both directions move concurrently on a full-duplex link).
+// Each endpoint counts only its outbound bytes toward OffNodeBytes, so
+// summed over ranks every byte crossing a node boundary is counted once.
+func (r *Rank) chargeDuplexHop(partner, sendBytes, recvBytes int) {
+	c := r.machine.cfg.Cost
+	off := !r.SameNode(partner)
+	r.stats.Messages++
+	r.stats.BytesSent += uint64(sendBytes)
+	r.stats.BytesReceived += uint64(recvBytes)
+	wire := sendBytes
+	if recvBytes > wire {
+		wire = recvBytes
+	}
+	if off {
+		r.stats.OffNodeMessages++
+		r.stats.OffNodeBytes += uint64(sendBytes)
+		r.clock += c.LatencyOffNode + float64(wire)*c.ByteOffNode
+	} else {
+		r.clock += c.LatencyOnNode + float64(wire)*c.ByteOnNode
+	}
+}
+
+// chargeRecvHop charges a receive-only hop: bytes arriving from src with no
+// matching sender-side charge. Used for the fold-in rounds of
+// non-power-of-two tree schedules, where a rank's hypercube partner does not
+// exist but the partner *block* does — a real algorithm (Bruck, or an extra
+// fold round) pays a message to deliver it. The receiver initiates the
+// accounting, mirroring ChargeGet, so the bytes are still counted exactly
+// once.
+func (r *Rank) chargeRecvHop(src, bytes int) {
+	c := r.machine.cfg.Cost
+	off := !r.SameNode(src)
+	r.stats.Messages++
+	r.stats.BytesReceived += uint64(bytes)
+	if off {
+		r.stats.OffNodeMessages++
+		r.stats.OffNodeBytes += uint64(bytes)
+		r.clock += c.LatencyOffNode + float64(bytes)*c.ByteOffNode
+	} else {
+		r.clock += c.LatencyOnNode + float64(bytes)*c.ByteOnNode
+	}
+}
+
+// chargeAllGatherTree charges the recursive-doubling all-gather schedule for
+// per-rank payload sizes. In round k rank i holds the payloads of the 2^k
+// ranks whose index differs from i only in the low k bits, and swaps that
+// block with partner i XOR 2^k. On non-power-of-two machines a partner
+// beyond the rank count may still front a partially existing block; the rank
+// is then charged a receive-only fold-in hop for that block's real bytes.
+func (r *Rank) chargeAllGatherTree(sizes []int) {
+	p := r.machine.cfg.Ranks
+	rounds := ceilLog2(p)
+	blockBytes := func(base, span int) int {
+		total := 0
+		for i := base; i < base+span && i < p; i++ {
+			total += sizes[i]
+		}
+		return total
+	}
+	for k := 0; k < rounds; k++ {
+		span := 1 << k
+		partner := r.id ^ span
+		base := partner &^ (span - 1)
+		if partner >= p {
+			if recv := blockBytes(base, span); recv > 0 {
+				r.chargeRecvHop(base, recv)
+			}
+			continue
+		}
+		send := blockBytes(r.id&^(span-1), span)
+		recv := blockBytes(base, span)
+		r.chargeDuplexHop(partner, send, recv)
+	}
+}
+
+// chargeAllReduceTree charges the recursive-doubling all-reduce schedule:
+// ceil(log2 P) rounds, each exchanging one fixed-size accumulator with
+// partner id XOR 2^k. As in chargeAllGatherTree, a missing partner whose
+// subcube partially exists costs a receive-only fold-in hop for its partial
+// accumulator.
+func (r *Rank) chargeAllReduceTree(bytes int) {
+	p := r.machine.cfg.Ranks
+	rounds := ceilLog2(p)
+	for k := 0; k < rounds; k++ {
+		span := 1 << k
+		partner := r.id ^ span
+		if partner >= p {
+			if base := partner &^ (span - 1); base < p {
+				r.chargeRecvHop(base, bytes)
+			}
+			continue
+		}
+		r.chargeDuplexHop(partner, bytes, bytes)
+	}
+}
+
+// chargeBroadcastTree charges the binomial doubling broadcast rooted at rank
+// 0: in round k every rank with id < 2^k forwards the payload to id + 2^k.
+// Senders pay a message; receivers account the incoming bytes and the
+// latency of waiting for them.
+func (r *Rank) chargeBroadcastTree(bytes int) {
+	p := r.machine.cfg.Ranks
+	c := r.machine.cfg.Cost
+	rounds := ceilLog2(p)
+	for k := 0; k < rounds; k++ {
+		span := 1 << k
+		switch {
+		case r.id < span:
+			if t := r.id | span; t < p {
+				r.chargeDuplexHop(t, bytes, 0)
+			}
+		case r.id < 2*span:
+			// This rank receives its copy in round k from id XOR 2^k. The
+			// sender already counted the message; the receiver accounts the
+			// incoming bytes and pays the wire time.
+			src := r.id ^ span
+			off := !r.SameNode(src)
+			r.stats.BytesReceived += uint64(bytes)
+			if off {
+				r.clock += c.LatencyOffNode + float64(bytes)*c.ByteOffNode
+			} else {
+				r.clock += c.LatencyOnNode + float64(bytes)*c.ByteOnNode
+			}
+		}
+	}
+}
+
+// AllReduce combines one value per rank with the given reduction and returns
+// the combined value on every rank. The reduction is exact in T's native
+// arithmetic, and its cost is the log2(P)-round tree schedule.
+func AllReduce[T Number](r *Rank, x T, op ReduceOp) T {
+	m := r.machine
+	m.gatherBuf[r.id] = collSlot{payload: x, bytes: scalarBytes}
+	r.Barrier()
+	acc := m.gatherBuf[0].(collSlot).payload.(T)
+	for i := 1; i < m.cfg.Ranks; i++ {
+		acc = combine(op, acc, m.gatherBuf[i].(collSlot).payload.(T))
+	}
+	r.chargeAllReduceTree(scalarBytes)
+	r.Barrier()
+	m.gatherBuf[r.id] = nil
+	return acc
+}
+
+// AllReduceFloat64 combines one float64 value per rank.
+func (r *Rank) AllReduceFloat64(x float64, op ReduceOp) float64 {
+	return AllReduce(r, x, op)
+}
+
+// AllReduceInt64 combines one int64 value per rank. The reduction is native
+// int64 arithmetic and therefore exact for the full int64 range.
+func (r *Rank) AllReduceInt64(x int64, op ReduceOp) int64 {
+	return AllReduce(r, x, op)
+}
+
+// Gather collects one value from every rank and returns the slice (indexed
+// by rank) on every rank, charging the all-gather tree schedule at
+// scalarBytes per rank.
+func Gather[T any](r *Rank, x T) []T {
+	m := r.machine
+	m.gatherBuf[r.id] = collSlot{payload: x, bytes: scalarBytes}
+	r.Barrier()
+	sizes := make([]int, m.cfg.Ranks)
+	out := make([]T, m.cfg.Ranks)
+	for i := 0; i < m.cfg.Ranks; i++ {
+		slot := m.gatherBuf[i].(collSlot)
+		sizes[i] = slot.bytes
+		out[i] = slot.payload.(T)
+	}
+	r.chargeAllGatherTree(sizes)
+	r.Barrier()
+	// Every rank has read all slots (the barrier above); releasing the
+	// rank's own slot here cannot race, since only this rank writes it.
+	m.gatherBuf[r.id] = nil
+	return out
+}
+
+// GatherV collects a variable-length slice from every rank and returns the
+// per-rank slices (indexed by source rank) on every rank. Unlike the scalar
+// Gather it charges the actual payload: len(items)*bytesPerItem bytes from
+// this rank, forwarded through the log2(P)-round all-gather tree, so a rank
+// gathering megabytes of alignments pays for megabytes, not for P words.
+func GatherV[T any](r *Rank, items []T, bytesPerItem int) [][]T {
+	return gatherV(r, items, len(items)*bytesPerItem)
+}
+
+// GatherVFunc is GatherV for payloads whose elements have variable wire
+// sizes (contigs, scaffolds): size reports the wire bytes of one item.
+func GatherVFunc[T any](r *Rank, items []T, size func(T) int) [][]T {
+	total := 0
+	for _, it := range items {
+		total += size(it)
+	}
+	return gatherV(r, items, total)
+}
+
+func gatherV[T any](r *Rank, items []T, localBytes int) [][]T {
+	m := r.machine
+	m.gatherBuf[r.id] = collSlot{payload: items, bytes: localBytes}
+	r.Barrier()
+	sizes := make([]int, m.cfg.Ranks)
+	out := make([][]T, m.cfg.Ranks)
+	for i := 0; i < m.cfg.Ranks; i++ {
+		slot := m.gatherBuf[i].(collSlot)
+		sizes[i] = slot.bytes
+		out[i] = slot.payload.([]T)
+	}
+	r.chargeAllGatherTree(sizes)
+	r.Barrier()
+	// See Gather: the slot is dead after the exit barrier; dropping it keeps
+	// the machine from pinning the last gathered payload alive.
+	m.gatherBuf[r.id] = nil
+	return out
+}
+
+// Broadcast returns rank 0's value of x on every rank, charged as a binomial
+// doubling tree rooted at rank 0. The broadcast payloads in this codebase
+// are handles (map pointers, atomic handles, shared slices), so the wire
+// size is one word.
+func Broadcast[T any](r *Rank, x T) T {
+	m := r.machine
+	if r.id == 0 {
+		m.gatherBuf[0] = collSlot{payload: x, bytes: scalarBytes}
+	}
+	r.Barrier()
+	out := m.gatherBuf[0].(collSlot).payload.(T)
+	r.chargeBroadcastTree(scalarBytes)
+	r.Barrier()
+	if r.id == 0 {
+		m.gatherBuf[0] = nil
+	}
+	return out
+}
+
+// AllToAll exchanges one slice per destination rank. outgoing must have
+// exactly NRanks entries; entry d is delivered to rank d. The returned slice
+// has NRanks entries where entry s is the slice this rank received from rank
+// s. A personalized exchange has no tree shortcut — every pair must move its
+// own data — so costs are charged per non-empty destination batch
+// (aggregated messages), and received batches are accounted to
+// BytesReceived.
+func AllToAll[T any](r *Rank, outgoing [][]T, bytesPerItem int) [][]T {
+	m := r.machine
+	if len(outgoing) != m.cfg.Ranks {
+		panic(fmt.Sprintf("pgas: AllToAll outgoing has %d entries, want %d", len(outgoing), m.cfg.Ranks))
+	}
+	for dest, batch := range outgoing {
+		m.exchangeBuf[dest][r.id] = batch
+		if len(batch) > 0 && dest != r.id {
+			r.ChargeSend(dest, len(batch)*bytesPerItem, 1)
+		}
+	}
+	r.Barrier()
+	incoming := make([][]T, m.cfg.Ranks)
+	for src := 0; src < m.cfg.Ranks; src++ {
+		slot := m.exchangeBuf[r.id][src]
+		if slot != nil {
+			incoming[src] = slot.([]T)
+			if src != r.id {
+				r.stats.BytesReceived += uint64(len(incoming[src]) * bytesPerItem)
+			}
+		}
+	}
+	r.Barrier()
+	for src := 0; src < m.cfg.Ranks; src++ {
+		m.exchangeBuf[r.id][src] = nil
+	}
+	r.Barrier()
+	return incoming
+}

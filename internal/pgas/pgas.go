@@ -20,7 +20,6 @@
 package pgas
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -68,8 +67,15 @@ type Config struct {
 	// RanksPerNode groups ranks into virtual nodes; communication between
 	// ranks on the same node is cheaper. Defaults to Ranks (single node).
 	RanksPerNode int
-	// Cost is the simulated cost model. Zero value means DefaultCostModel.
+	// Cost is the simulated cost model. The zero value means DefaultCostModel
+	// unless CostSet is true.
 	Cost CostModel
+	// CostSet makes an all-zero Cost meaningful: when true, Cost is used
+	// verbatim even if it is the zero CostModel, which simulates a machine
+	// with free communication (the ablation that isolates algorithmic work
+	// from communication cost). When false, a zero Cost selects
+	// DefaultCostModel.
+	CostSet bool
 }
 
 func (c Config) withDefaults() Config {
@@ -79,18 +85,24 @@ func (c Config) withDefaults() Config {
 	if c.RanksPerNode <= 0 || c.RanksPerNode > c.Ranks {
 		c.RanksPerNode = c.Ranks
 	}
-	if c.Cost == (CostModel{}) {
+	if !c.CostSet && c.Cost == (CostModel{}) {
 		c.Cost = DefaultCostModel()
 	}
 	return c
 }
 
 // CommStats counts the communication and computation performed by one rank.
+// BytesSent is outbound traffic (puts, flushed update batches, collective
+// forwarding); BytesReceived is inbound traffic (one-sided gets, cache-miss
+// fills, collective deliveries). OffNodeBytes counts every byte that crossed
+// a node boundary exactly once, attributed to the rank that initiated the
+// transfer in that direction.
 type CommStats struct {
 	ComputeOps      float64
 	Messages        uint64
 	OffNodeMessages uint64
 	BytesSent       uint64
+	BytesReceived   uint64
 	OffNodeBytes    uint64
 	RemoteGets      uint64
 	RemotePuts      uint64
@@ -106,6 +118,7 @@ func (s *CommStats) Add(other CommStats) {
 	s.Messages += other.Messages
 	s.OffNodeMessages += other.OffNodeMessages
 	s.BytesSent += other.BytesSent
+	s.BytesReceived += other.BytesReceived
 	s.OffNodeBytes += other.OffNodeBytes
 	s.RemoteGets += other.RemoteGets
 	s.RemotePuts += other.RemotePuts
@@ -122,8 +135,7 @@ type Machine struct {
 
 	barrier     *clockBarrier
 	exchangeBuf [][]any // [dest][src] slots for all-to-all exchanges
-	reduceBuf   []float64
-	gatherBuf   []any
+	gatherBuf   []any   // one slot per rank, shared by the collectives
 
 	atomicMu sync.Mutex
 	atomics  []int64
@@ -150,7 +162,6 @@ func NewMachine(cfg Config) *Machine {
 	for i := range m.exchangeBuf {
 		m.exchangeBuf[i] = make([]any, cfg.Ranks)
 	}
-	m.reduceBuf = make([]float64, cfg.Ranks)
 	m.gatherBuf = make([]any, cfg.Ranks)
 	return m
 }
@@ -323,7 +334,8 @@ func (r *Rank) ChargeSend(dest int, bytes int, msgs int) {
 }
 
 // ChargeGet charges the cost of fetching bytes bytes from the source rank
-// (a one-sided get, e.g. a remote hash-table lookup).
+// (a one-sided get, e.g. a remote hash-table lookup). The fetched bytes are
+// inbound traffic and are accounted to BytesReceived, not BytesSent.
 func (r *Rank) ChargeGet(src int, bytes int, msgs int) {
 	if msgs <= 0 {
 		return
@@ -332,7 +344,7 @@ func (r *Rank) ChargeGet(src int, bytes int, msgs int) {
 	off := !r.SameNode(src)
 	r.stats.Messages += uint64(msgs)
 	r.stats.RemoteGets += uint64(msgs)
-	r.stats.BytesSent += uint64(bytes)
+	r.stats.BytesReceived += uint64(bytes)
 	if off {
 		r.stats.OffNodeMessages += uint64(msgs)
 		r.stats.OffNodeBytes += uint64(bytes)
@@ -405,105 +417,6 @@ func (r *Rank) StageEnd(name string, startClock float64) float64 {
 		r.machine.recordStage(name, dur)
 	}
 	return dur
-}
-
-// AllReduceFloat64 combines one float64 value per rank with the given
-// reduction and returns the combined value on every rank.
-func (r *Rank) AllReduceFloat64(x float64, op ReduceOp) float64 {
-	m := r.machine
-	m.reduceBuf[r.id] = x
-	r.ChargeSend(0, 8, 1)
-	r.Barrier()
-	result := m.reduceBuf[0]
-	for i := 1; i < m.cfg.Ranks; i++ {
-		result = op.combine(result, m.reduceBuf[i])
-	}
-	r.Barrier()
-	return result
-}
-
-// AllReduceInt64 combines one int64 value per rank.
-func (r *Rank) AllReduceInt64(x int64, op ReduceOp) int64 {
-	return int64(r.AllReduceFloat64(float64(x), op))
-}
-
-// ReduceOp selects the combining function of an all-reduce.
-type ReduceOp int
-
-// Supported reductions.
-const (
-	ReduceSum ReduceOp = iota
-	ReduceMax
-	ReduceMin
-)
-
-func (op ReduceOp) combine(a, b float64) float64 {
-	switch op {
-	case ReduceMax:
-		if a > b {
-			return a
-		}
-		return b
-	case ReduceMin:
-		if a < b {
-			return a
-		}
-		return b
-	default:
-		return a + b
-	}
-}
-
-// Gather collects one value from every rank and returns the slice (indexed
-// by rank) on every rank.
-func Gather[T any](r *Rank, x T) []T {
-	m := r.machine
-	m.gatherBuf[r.id] = x
-	r.ChargeSend(0, 16, 1)
-	r.Barrier()
-	out := make([]T, m.cfg.Ranks)
-	for i := 0; i < m.cfg.Ranks; i++ {
-		out[i] = m.gatherBuf[i].(T)
-	}
-	r.Barrier()
-	return out
-}
-
-// Broadcast returns rank 0's value of x on every rank.
-func Broadcast[T any](r *Rank, x T) T {
-	all := Gather(r, x)
-	return all[0]
-}
-
-// AllToAll exchanges one slice per destination rank. outgoing must have
-// exactly NRanks entries; entry d is delivered to rank d. The returned slice
-// has NRanks entries where entry s is the slice this rank received from rank
-// s. Costs are charged per destination batch (aggregated messages).
-func AllToAll[T any](r *Rank, outgoing [][]T, bytesPerItem int) [][]T {
-	m := r.machine
-	if len(outgoing) != m.cfg.Ranks {
-		panic(fmt.Sprintf("pgas: AllToAll outgoing has %d entries, want %d", len(outgoing), m.cfg.Ranks))
-	}
-	for dest, batch := range outgoing {
-		m.exchangeBuf[dest][r.id] = batch
-		if len(batch) > 0 && dest != r.id {
-			r.ChargeSend(dest, len(batch)*bytesPerItem, 1)
-		}
-	}
-	r.Barrier()
-	incoming := make([][]T, m.cfg.Ranks)
-	for src := 0; src < m.cfg.Ranks; src++ {
-		slot := m.exchangeBuf[r.id][src]
-		if slot != nil {
-			incoming[src] = slot.([]T)
-		}
-	}
-	r.Barrier()
-	for src := 0; src < m.cfg.Ranks; src++ {
-		m.exchangeBuf[r.id][src] = nil
-	}
-	r.Barrier()
-	return incoming
 }
 
 // BlockRange returns the half-open range [lo, hi) of the items owned by this

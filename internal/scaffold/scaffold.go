@@ -230,7 +230,7 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		}
 		localAccepted = append(localAccepted, acceptedLink{Key: k, Gap: agg.GapSum / agg.Count, Sup: agg.Count})
 	})
-	allAccepted := pgas.Gather(r, localAccepted)
+	allAccepted := pgas.GatherV(r, localAccepted, 34)
 	adj := make(map[int][]linkInfo)
 	accepted := 0
 	for _, batch := range allAccepted {
@@ -253,8 +253,8 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		})
 		adj[id] = links
 	}
-	res.SplintLinks = int(r.AllReduceInt64(int64(splintsLocal), pgas.ReduceSum))
-	res.SpanLinks = int(r.AllReduceInt64(int64(spansLocal), pgas.ReduceSum))
+	res.SplintLinks = pgas.AllReduce(r, splintsLocal, pgas.ReduceSum)
+	res.SpanLinks = pgas.AllReduce(r, spansLocal, pgas.ReduceSum)
 	res.AcceptedLinks = accepted
 
 	// Step 3: identify HMM (rRNA) hits and repeats to suspend.
@@ -268,7 +268,7 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 			}
 			r.Compute(float64(len(contigs[i].Seq)))
 		}
-		for _, batch := range pgas.Gather(r, localHits) {
+		for _, batch := range pgas.GatherV(r, localHits, 8) {
 			for _, id := range batch {
 				hmmHit[id] = true
 			}
@@ -341,7 +341,9 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 	// Step 6: gap closing, load-balanced round-robin over all gaps; then the
 	// scaffolds are materialized and gathered.
 	localScaffolds, gapsTotal, gapsClosed := buildScaffolds(r, contigs, byID, localChains, opts)
-	allScaffolds := pgas.Gather(r, localScaffolds)
+	allScaffolds := pgas.GatherVFunc(r, localScaffolds, func(s Scaffold) int {
+		return 32 + len(s.Seq) + 8*len(s.ContigIDs)
+	})
 	var merged []Scaffold
 	for _, batch := range allScaffolds {
 		merged = append(merged, batch...)
@@ -356,8 +358,8 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		merged[i].ID = i
 	}
 	res.Scaffolds = merged
-	res.GapsTotal = int(r.AllReduceInt64(int64(gapsTotal), pgas.ReduceSum))
-	res.GapsClosed = int(r.AllReduceInt64(int64(gapsClosed), pgas.ReduceSum))
+	res.GapsTotal = pgas.AllReduce(r, gapsTotal, pgas.ReduceSum)
+	res.GapsClosed = pgas.AllReduce(r, gapsClosed, pgas.ReduceSum)
 	r.Barrier()
 	return res
 }
