@@ -7,6 +7,8 @@
 package mhmgo_test
 
 import (
+	"encoding/json"
+	"os"
 	"runtime"
 	"testing"
 
@@ -218,6 +220,69 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mhmgo.Assemble(reads, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistributedOwnership compares the distributed-ownership pipeline
+// (PR 3) against the gather-to-all baseline it replaced, at P=64: identical
+// assembly by construction, but the baseline materializes every gathered
+// collection on every rank. It reports the worst rank's peak resident
+// collective bytes and the simulated seconds for both modes, and writes the
+// comparison to BENCH_dist.json so the perf trajectory has a machine-readable
+// data point per CI run.
+func BenchmarkDistributedOwnership(b *testing.B) {
+	commCfg := mhmgo.CommunityConfig{
+		NumGenomes:     24,
+		MeanGenomeLen:  2000,
+		LenVariation:   0.2,
+		AbundanceSigma: 0.3,
+		RRNALen:        150,
+		Seed:           71,
+	}
+	comm := mhmgo.SimulateCommunity(commCfg)
+	reads := mhmgo.SimulateReads(comm, mhmgo.ReadConfig{
+		ReadLen: 80, InsertSize: 220, InsertStd: 15,
+		ErrorRate: 0.005, Coverage: 8, Seed: 72,
+	})
+	const ranks = 64
+	run := func(gatherToAll bool) *mhmgo.Result {
+		cfg := mhmgo.DefaultConfig(ranks)
+		cfg.InsertSize, cfg.InsertStd = 220, 15
+		cfg.GatherToAll = gatherToAll
+		res, err := mhmgo.Assemble(reads, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distRes := run(false)
+		gatherRes := run(true)
+		distPeak := float64(distRes.Stats.PeakResidentBytes)
+		gatherPeak := float64(gatherRes.Stats.PeakResidentBytes)
+		b.ReportMetric(distPeak, "dist_peak_resident_B")
+		b.ReportMetric(gatherPeak, "gather_peak_resident_B")
+		b.ReportMetric(gatherPeak/distPeak, "peak_reduction_x")
+		b.ReportMetric(distRes.SimSeconds, "dist_sim_s")
+		b.ReportMetric(gatherRes.SimSeconds, "gather_sim_s")
+		report := map[string]any{
+			"ranks":                  ranks,
+			"reads":                  len(reads),
+			"scaffolds":              len(distRes.Scaffolds),
+			"dist_peak_resident_b":   distRes.Stats.PeakResidentBytes,
+			"gather_peak_resident_b": gatherRes.Stats.PeakResidentBytes,
+			"peak_reduction_x":       gatherPeak / distPeak,
+			"dist_sim_seconds":       distRes.SimSeconds,
+			"gather_sim_seconds":     gatherRes.SimSeconds,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_dist.json", append(data, '\n'), 0o644); err != nil {
 			b.Fatal(err)
 		}
 	}

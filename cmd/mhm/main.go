@@ -74,5 +74,7 @@ func main() {
 	fmt.Printf("communication: %d msgs (%d off-node), %.1f MB sent, %.1f MB received, %.1f MB off-node\n",
 		s.Messages, s.OffNodeMessages,
 		float64(s.BytesSent)/1e6, float64(s.BytesReceived)/1e6, float64(s.OffNodeBytes)/1e6)
+	fmt.Printf("peak resident collective payload (worst rank): %.1f KB\n",
+		float64(s.PeakResidentBytes)/1e3)
 	fmt.Printf("wrote %d sequences to %s\n", len(seqs), *out)
 }

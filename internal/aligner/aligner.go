@@ -11,6 +11,7 @@ import (
 
 	"mhmgo/internal/dbg"
 	"mhmgo/internal/dht"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
 )
@@ -30,12 +31,18 @@ type Alignment struct {
 	ReadIdx   int // index of the read in the caller's read ordering
 	ReadID    string
 	ContigID  int
+	ContigLen int // length of the aligned contig, recorded at extension time
 	ContigPos int // start of the read projection on the contig (may be negative)
 	Reverse   bool
 	Matches   int
 	Mismatch  int
 	AlignLen  int
 }
+
+// WireSize returns the wire bytes charged when an alignment is routed or
+// gathered: seven coordinate words, the orientation flag and the read
+// identifier.
+func (a Alignment) WireSize() int { return 57 + len(a.ReadID) }
 
 // Identity returns the fraction of aligned bases that match.
 func (a Alignment) Identity() float64 {
@@ -77,35 +84,32 @@ func DefaultOptions(seedLen int) Options {
 	}
 }
 
-// Index is the distributed seed index over a contig set. The contig
-// sequences themselves are replicated (they are much smaller than the reads).
+// Index is the distributed seed index over a distributed contig set. Neither
+// the seeds nor the contig sequences are replicated: seed lookups go through
+// the DHT and contig fetches through the set's owner-side lookup, each
+// fronted by a per-rank software cache during alignment.
 type Index struct {
 	SeedLen int
 	Seeds   *dht.Map[seq.Kmer, []SeedHit]
-	Contigs []dbg.Contig
-	byID    map[int]int
+	Contigs *dbg.ContigSet
 }
 
 func kmerHash(k seq.Kmer) uint64 { return k.Hash() }
 
 // BuildIndex constructs the distributed seed index. Collective: each rank
-// indexes a block of the contigs using the aggregated update-only phase.
-func BuildIndex(r *pgas.Rank, contigs []dbg.Contig, opts Options) *Index {
+// indexes its own shard of the contig set using the aggregated update-only
+// phase.
+func BuildIndex(r *pgas.Rank, contigs *dbg.ContigSet, opts Options) *Index {
 	if opts.SeedLen <= 0 || opts.SeedLen > seq.MaxK {
 		opts.SeedLen = 31
 	}
-	idx := &Index{SeedLen: opts.SeedLen, Contigs: contigs, byID: make(map[int]int, len(contigs))}
-	for i, c := range contigs {
-		idx.byID[c.ID] = i
-	}
+	idx := &Index{SeedLen: opts.SeedLen, Contigs: contigs}
 	idx.Seeds = dht.NewMapCollective[seq.Kmer, []SeedHit](r, kmerHash, 24)
 	combine := func(existing, update []SeedHit, found bool) []SeedHit {
 		return append(existing, update...)
 	}
 	u := idx.Seeds.NewUpdater(r, combine, 512, true)
-	lo, hi := r.BlockRange(len(contigs))
-	for ci := lo; ci < hi; ci++ {
-		c := contigs[ci]
+	contigs.ForEachLocal(r, func(_ int, c dbg.Contig) {
 		it := seq.NewKmerIter(c.Seq, opts.SeedLen)
 		for {
 			km, off, ok := it.Next()
@@ -116,22 +120,13 @@ func BuildIndex(r *pgas.Rank, contigs []dbg.Contig, opts Options) *Index {
 			u.Update(canon, []SeedHit{{ContigID: c.ID, Pos: off, Reverse: wasRC}})
 		}
 		r.Compute(float64(len(c.Seq)))
-	}
+	})
 	u.Flush()
 	r.Barrier()
 	// The index is never mutated after construction: switch it into the
 	// lock-free read-only phase so alignment reads take no stripe locks.
 	idx.Seeds.Freeze()
 	return idx
-}
-
-// ContigByID returns the contig with the given ID, or ok=false.
-func (idx *Index) ContigByID(id int) (dbg.Contig, bool) {
-	i, ok := idx.byID[id]
-	if !ok {
-		return dbg.Contig{}, false
-	}
-	return idx.Contigs[i], true
 }
 
 // AlignStats summarizes an alignment pass.
@@ -161,10 +156,18 @@ func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts
 		opts.MinAlignLen = 20
 	}
 	reader := idx.Seeds.NewCachedReader(r, opts.CacheEntries, opts.UseCache)
+	// Remote contig sequences are fetched through the same software-caching
+	// discipline as the seeds (merAligner caches contigs too); with read
+	// localization most fetches are owner-local and free.
+	contigCache := 0
+	if opts.UseCache {
+		contigCache = opts.CacheEntries
+	}
+	creader := idx.Contigs.NewReader(r, contigCache)
 	var out []Alignment
 	stats := AlignStats{ReadsTotal: len(reads)}
 	for i, read := range reads {
-		best, found := alignOne(r, idx, reader, read, opts)
+		best, found := alignOne(r, idx, reader, creader, read, opts)
 		if found {
 			best.ReadIdx = readOffset + i
 			best.ReadID = read.ID
@@ -180,8 +183,9 @@ func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts
 }
 
 // alignOne seeds and extends one read, returning its best alignment.
-func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []SeedHit], read seq.Read, opts Options) (Alignment, bool) {
+func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []SeedHit], creader *dist.Reader[dbg.Contig], read seq.Read, opts Options) (Alignment, bool) {
 	var best Alignment
+	var bestContig dbg.Contig
 	found := false
 	tried := make(map[[3]int]bool)
 	it := seq.NewKmerIter(read.Seq, opts.SeedLen)
@@ -203,11 +207,24 @@ func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []See
 		if opts.MaxHitsPerSeed > 0 && len(hits) > opts.MaxHitsPerSeed {
 			continue
 		}
+		// The hit list accumulates in DHT flush-arrival order, which varies
+		// run to run; iterate a sorted copy so the sequence of charged
+		// contig fetches (cache hits/misses and their clock costs) is
+		// deterministic, not just the chosen best alignment.
+		if len(hits) > 1 {
+			hits = append([]SeedHit(nil), hits...)
+			sort.Slice(hits, func(i, j int) bool {
+				if hits[i].ContigID != hits[j].ContigID {
+					return hits[i].ContigID < hits[j].ContigID
+				}
+				if hits[i].Pos != hits[j].Pos {
+					return hits[i].Pos < hits[j].Pos
+				}
+				return !hits[i].Reverse && hits[j].Reverse
+			})
+		}
 		for _, h := range hits {
-			contig, ok := idx.ContigByID(h.ContigID)
-			if !ok {
-				continue
-			}
+			contig := creader.Get(h.ContigID)
 			// The read aligns to the contig's reverse strand when exactly one
 			// of (read seed canonicalization, contig seed canonicalization)
 			// flipped orientation.
@@ -222,13 +239,40 @@ func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []See
 			if !ok {
 				continue
 			}
-			if !found || a.Matches > best.Matches {
+			if !found || betterAlignment(a, contig, best, bestContig) {
 				best = a
+				bestContig = contig
 				found = true
 			}
 		}
 	}
 	return best, found
+}
+
+// betterAlignment is the total order used to select a read's best alignment.
+// The seed index accumulates hits in flush-arrival order, which varies run
+// to run, so the winner must be a pure function of the candidate set: most
+// matches first, ties broken by the target contig's content (never by its
+// ID, whose numbering depends on the rank count — a read tied between two
+// rRNA copies must pick the same copy on any machine), then by coordinates.
+func betterAlignment(a Alignment, ca dbg.Contig, b Alignment, cb dbg.Contig) bool {
+	if a.Matches != b.Matches {
+		return a.Matches > b.Matches
+	}
+	if a.ContigID != b.ContigID &&
+		(len(ca.Seq) != len(cb.Seq) || string(ca.Seq) != string(cb.Seq)) {
+		return dbg.ContigLess(ca, cb)
+	}
+	if a.ContigPos != b.ContigPos {
+		return a.ContigPos < b.ContigPos
+	}
+	if a.Reverse != b.Reverse {
+		return !a.Reverse
+	}
+	// Only reachable when the two targets are byte-identical contigs at the
+	// same position and orientation: either choice is the same content, and
+	// the ID comparison just makes the order total within one run.
+	return a.ContigID < b.ContigID
 }
 
 func boolToInt(b bool) int {
@@ -263,6 +307,7 @@ func extend(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse
 	}
 	a := Alignment{
 		ContigID:  contig.ID,
+		ContigLen: len(contig.Seq),
 		ContigPos: start,
 		Reverse:   reverse,
 		Matches:   matches,
@@ -275,26 +320,33 @@ func extend(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse
 	return a, true
 }
 
-// GatherAlignments collects every rank's alignments, sorted by ReadIdx, onto
-// all ranks. The gather is charged by actual payload size: six words of
-// coordinates plus the read identifier per alignment.
-func GatherAlignments(r *pgas.Rank, local []Alignment) []Alignment {
-	all := pgas.GatherVFunc(r, local, func(a Alignment) int { return 48 + len(a.ReadID) })
-	var merged []Alignment
-	for _, as := range all {
-		merged = append(merged, as...)
-	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].ReadIdx < merged[j].ReadIdx })
-	return merged
+// DistributeAlignments routes every alignment to the rank owning its contig
+// and returns the resulting distributed set, sorted by ReadIdx within each
+// shard. This replaces the old GatherAlignments gather-to-all: the contig's
+// owner holds exactly the alignments it needs for recruitment and link work,
+// and no rank ever materializes the full alignment set. Collective.
+func DistributeAlignments(r *pgas.Rank, local []Alignment, contigs *dbg.ContigSet) *dist.Set[Alignment] {
+	s := dist.New(r, local,
+		func(a Alignment) int { return contigs.RankOfID(a.ContigID) },
+		Alignment.WireSize, contigs.Mode())
+	s.SortLocal(r, func(a, b Alignment) bool {
+		if a.ReadIdx != b.ReadIdx {
+			return a.ReadIdx < b.ReadIdx
+		}
+		return a.ContigID < b.ContigID
+	})
+	return s
 }
 
-// LocalizeReads implements the read-localization optimization (Section II-I):
-// every read that aligned to contig c is shipped to rank (c mod P); unaligned
-// reads stay with their current owner. The returned slice is the calling
-// rank's new local read set. alignments must cover the same reads slice
-// passed here (ReadIdx relative to readOffset).
-func LocalizeReads(r *pgas.Rank, reads []seq.Read, readOffset int, alignments []Alignment) []seq.Read {
-	p := r.NRanks()
+// LocalizeReads implements the read-localization optimization (Section II-I)
+// for independent (unpaired) reads: every read that aligned to contig c is
+// shipped to c's owner rank in the distributed contig set, so the read, its
+// contig and its alignments end up co-located; unaligned reads stay with
+// their current owner. The returned slice is the calling rank's new local
+// read set. alignments must cover the same reads slice passed here (ReadIdx
+// relative to readOffset). The pipeline itself uses the pair-preserving
+// variant (core.localizePairs) so mates stay on one rank.
+func LocalizeReads(r *pgas.Rank, contigs *dbg.ContigSet, reads []seq.Read, readOffset int, alignments []Alignment) []seq.Read {
 	dest := make([]int, len(reads))
 	for i := range dest {
 		dest[i] = r.ID() // unaligned reads stay put
@@ -302,7 +354,7 @@ func LocalizeReads(r *pgas.Rank, reads []seq.Read, readOffset int, alignments []
 	for _, a := range alignments {
 		i := a.ReadIdx - readOffset
 		if i >= 0 && i < len(reads) {
-			dest[i] = a.ContigID % p
+			dest[i] = contigs.RankOfID(a.ContigID)
 		}
 	}
 	type routedRead struct {
@@ -313,10 +365,18 @@ func LocalizeReads(r *pgas.Rank, reads []seq.Read, readOffset int, alignments []
 	for i, rd := range reads {
 		items[i] = routedRead{Read: rd, Dest: dest[i]}
 	}
-	got := dht.Route(r, items, func(it routedRead) int { return it.Dest }, 120)
+	got := dht.RouteFunc(r, items, func(it routedRead) int { return it.Dest },
+		func(it routedRead) int { return it.Read.WireSize() + 8 })
 	out := make([]seq.Read, len(got))
+	received := 0
 	for i, it := range got {
 		out[i] = it.Read
+		received += it.Read.WireSize() + 8
 	}
+	// The shipped reads are input data changing owner, not a new collective
+	// materialization: release the exchange's resident charge (the
+	// momentary spike still registers in the peak meter) so iterated
+	// localization does not accumulate stale charges.
+	r.ReleaseResident(received)
 	return out
 }

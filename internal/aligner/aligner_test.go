@@ -5,12 +5,13 @@ import (
 	"testing"
 
 	"mhmgo/internal/dbg"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
 	"mhmgo/internal/sim"
 )
 
-// testContigs builds a small replicated contig set.
+// testContigs builds a small contig set (IDs are reassigned on distribution).
 func testContigs() []dbg.Contig {
 	return []dbg.Contig{
 		{ID: 0, Seq: []byte("ACGTTGCAAGCTTACGGATCCGTAAACTGGTCCATTGGCAACGGTATTCCAGGAATTCACAGG"), Depth: 20},
@@ -18,47 +19,57 @@ func testContigs() []dbg.Contig {
 	}
 }
 
-func buildTestIndex(t *testing.T, m *pgas.Machine, contigs []dbg.Contig, opts Options) *Index {
-	t.Helper()
-	var idx *Index
-	m.Run(func(r *pgas.Rank) {
-		got := BuildIndex(r, contigs, opts)
-		if r.ID() == 0 {
-			idx = got
-		}
-	})
-	return idx
+// distributeTestContigs splits a replicated contig slice over the ranks and
+// returns the distributed set plus a sequence->global-ID map (identical on
+// every rank), since distribution reassigns IDs.
+func distributeTestContigs(r *pgas.Rank, contigs []dbg.Contig) (*dbg.ContigSet, map[string]int) {
+	lo, hi := r.BlockRange(len(contigs))
+	cs := dbg.DistributeContigs(r, contigs[lo:hi], dist.Distributed)
+	ids := map[string]int{}
+	n := cs.GlobalLen(r)
+	for id := 0; id < n; id++ {
+		c := cs.GetByID(r, id)
+		ids[string(c.Seq)] = id
+	}
+	return cs, ids
 }
 
 func TestBuildIndexCoversAllSeeds(t *testing.T) {
 	m := pgas.NewMachine(pgas.Config{Ranks: 3})
 	contigs := testContigs()
 	opts := DefaultOptions(15)
-	idx := buildTestIndex(t, m, contigs, opts)
-	// Every seed of every contig must be present in the index.
+	var idx *Index
+	ids := map[string]int{}
+	m.Run(func(r *pgas.Rank) {
+		cs, idMap := distributeTestContigs(r, contigs)
+		got := BuildIndex(r, cs, opts)
+		if r.ID() == 0 {
+			idx = got
+			for k, v := range idMap {
+				ids[k] = v
+			}
+		}
+	})
+	// Every seed of every contig must be present in the index, under the
+	// contig's distributed ID.
 	for _, c := range contigs {
+		id := ids[string(c.Seq)]
 		for off, km := range seq.KmersOf(c.Seq, 15) {
 			canon, _ := km.Canonical()
 			hits, ok := idx.Seeds.Lookup(canon)
 			if !ok {
-				t.Fatalf("seed at contig %d offset %d missing", c.ID, off)
+				t.Fatalf("seed at contig %d offset %d missing", id, off)
 			}
 			found := false
 			for _, h := range hits {
-				if h.ContigID == c.ID && h.Pos == off {
+				if h.ContigID == id && h.Pos == off {
 					found = true
 				}
 			}
 			if !found {
-				t.Fatalf("seed at contig %d offset %d has no hit entry", c.ID, off)
+				t.Fatalf("seed at contig %d offset %d has no hit entry", id, off)
 			}
 		}
-	}
-	if _, ok := idx.ContigByID(1); !ok {
-		t.Error("ContigByID(1) failed")
-	}
-	if _, ok := idx.ContigByID(99); ok {
-		t.Error("ContigByID(99) should fail")
 	}
 }
 
@@ -67,8 +78,10 @@ func TestAlignPerfectRead(t *testing.T) {
 	contigs := testContigs()
 	opts := DefaultOptions(15)
 	var alignments []Alignment
+	ids := map[string]int{}
 	m.Run(func(r *pgas.Rank) {
-		idx := BuildIndex(r, contigs, opts)
+		cs, idMap := distributeTestContigs(r, contigs)
+		idx := BuildIndex(r, cs, opts)
 		var reads []seq.Read
 		if r.ID() == 0 {
 			reads = []seq.Read{
@@ -78,23 +91,33 @@ func TestAlignPerfectRead(t *testing.T) {
 			}
 		}
 		got, _ := AlignReads(r, idx, reads, 0, opts)
-		all := GatherAlignments(r, got)
+		// The distributed alignment set replaces the old gather-to-all:
+		// emit it to rank 0 for the assertions.
+		s := DistributeAlignments(r, got, cs)
+		all := s.Emit(r)
 		if r.ID() == 0 {
 			alignments = all
+			for k, v := range idMap {
+				ids[k] = v
+			}
 		}
 	})
 	if len(alignments) != 2 {
 		t.Fatalf("got %d alignments, want 2: %+v", len(alignments), alignments)
 	}
-	fwd := alignments[0]
-	if fwd.ReadID != "fwd" || fwd.ContigID != 0 || fwd.ContigPos != 5 || fwd.Reverse {
+	byRead := map[string]Alignment{}
+	for _, a := range alignments {
+		byRead[a.ReadID] = a
+	}
+	fwd := byRead["fwd"]
+	if fwd.ContigID != ids[string(contigs[0].Seq)] || fwd.ContigPos != 5 || fwd.Reverse {
 		t.Errorf("forward alignment wrong: %+v", fwd)
 	}
 	if fwd.Identity() != 1.0 || fwd.AlignLen != 40 {
 		t.Errorf("forward alignment score wrong: %+v", fwd)
 	}
-	rev := alignments[1]
-	if rev.ReadID != "rev" || rev.ContigID != 1 || rev.ContigPos != 10 || !rev.Reverse {
+	rev := byRead["rev"]
+	if rev.ContigID != ids[string(contigs[1].Seq)] || rev.ContigPos != 10 || !rev.Reverse {
 		t.Errorf("reverse alignment wrong: %+v", rev)
 	}
 }
@@ -105,7 +128,8 @@ func TestAlignToleratesMismatches(t *testing.T) {
 	opts := DefaultOptions(15)
 	opts.MinIdentity = 0.85
 	m.Run(func(r *pgas.Rank) {
-		idx := BuildIndex(r, contigs, opts)
+		cs, _ := distributeTestContigs(r, contigs)
+		idx := BuildIndex(r, cs, opts)
 		readSeq := append([]byte(nil), contigs[0].Seq[2:52]...)
 		readSeq[30] = flipBase(readSeq[30])
 		readSeq[40] = flipBase(readSeq[40])
@@ -132,7 +156,8 @@ func TestAlignRejectsLowIdentity(t *testing.T) {
 	opts := DefaultOptions(15)
 	opts.MinIdentity = 0.99
 	m.Run(func(r *pgas.Rank) {
-		idx := BuildIndex(r, contigs, opts)
+		cs, _ := distributeTestContigs(r, contigs)
+		idx := BuildIndex(r, cs, opts)
 		readSeq := append([]byte(nil), contigs[0].Seq[0:40]...)
 		for i := 20; i < 30; i++ {
 			readSeq[i] = flipBase(readSeq[i])
@@ -158,7 +183,8 @@ func TestSoftwareCacheReducesCommunication(t *testing.T) {
 		opts.UseCache = useCache
 		var stats AlignStats
 		res := m.Run(func(r *pgas.Rank) {
-			idx := BuildIndex(r, contigs, opts)
+			cs, _ := distributeTestContigs(r, contigs)
+			idx := BuildIndex(r, cs, opts)
 			lo, hi := r.BlockRange(len(reads))
 			_, s := AlignReads(r, idx, reads[lo:hi], lo, opts)
 			if r.ID() == 0 {
@@ -188,18 +214,53 @@ func TestAlignmentRateOnSimulatedReads(t *testing.T) {
 	opts := DefaultOptions(21)
 	var aligned, total int
 	m.Run(func(r *pgas.Rank) {
-		idx := BuildIndex(r, contigs, opts)
+		cs, _ := distributeTestContigs(r, contigs)
+		idx := BuildIndex(r, cs, opts)
 		lo, hi := r.BlockRange(len(reads))
 		got, _ := AlignReads(r, idx, reads[lo:hi], lo, opts)
-		all := GatherAlignments(r, got)
+		n := pgas.AllReduce(r, len(got), pgas.ReduceSum)
 		if r.ID() == 0 {
-			aligned, total = len(all), len(reads)
+			aligned, total = n, len(reads)
 		}
 	})
 	rate := float64(aligned) / float64(total)
 	if rate < 0.9 {
 		t.Errorf("only %v of reads aligned to their source genomes", rate)
 	}
+}
+
+// TestDistributeAlignmentsOwnerRouted: every alignment must land on the rank
+// owning its contig, sorted by read index within the shard.
+func TestDistributeAlignmentsOwnerRouted(t *testing.T) {
+	m := pgas.NewMachine(pgas.Config{Ranks: 4})
+	contigs := testContigs()
+	opts := DefaultOptions(15)
+	m.Run(func(r *pgas.Rank) {
+		cs, _ := distributeTestContigs(r, contigs)
+		idx := BuildIndex(r, cs, opts)
+		var reads []seq.Read
+		for i := 0; i+40 <= len(contigs[r.ID()%2].Seq); i += 8 {
+			reads = append(reads, seq.Read{ID: "x", Seq: contigs[r.ID()%2].Seq[i : i+40]})
+		}
+		got, _ := AlignReads(r, idx, reads, r.ID()*1000, opts)
+		s := DistributeAlignments(r, got, cs)
+		prev := -1
+		for _, a := range s.Local(r) {
+			if owner := cs.RankOfID(a.ContigID); owner != r.ID() {
+				t.Errorf("rank %d holds alignment for contig %d owned by %d", r.ID(), a.ContigID, owner)
+			}
+			if a.ReadIdx < prev {
+				t.Errorf("shard not sorted by ReadIdx")
+			}
+			prev = a.ReadIdx
+		}
+		// No alignment may be lost in routing.
+		localIn := pgas.AllReduce(r, len(got), pgas.ReduceSum)
+		localOut := pgas.AllReduce(r, s.Len(r), pgas.ReduceSum)
+		if localIn != localOut {
+			t.Errorf("routing lost alignments: %d in, %d out", localIn, localOut)
+		}
+	})
 }
 
 func TestLocalizeReadsGroupsByContig(t *testing.T) {
@@ -217,29 +278,34 @@ func TestLocalizeReadsGroupsByContig(t *testing.T) {
 	reads = append(reads, seq.Read{ID: "junk", Seq: []byte(strings.Repeat("ACAC", 12))})
 
 	var perRankCounts [4]map[string]int
+	owner := map[string]int{}
 	m.Run(func(r *pgas.Rank) {
-		idx := BuildIndex(r, contigs, opts)
+		cs, ids := distributeTestContigs(r, contigs)
+		idx := BuildIndex(r, cs, opts)
 		lo, hi := r.BlockRange(len(reads))
 		aligns, _ := AlignReads(r, idx, reads[lo:hi], lo, opts)
-		localized := LocalizeReads(r, reads[lo:hi], lo, aligns)
+		localized := LocalizeReads(r, cs, reads[lo:hi], lo, aligns)
 		counts := map[string]int{}
 		for _, rd := range localized {
 			counts[rd.ID]++
 		}
 		perRankCounts[r.ID()] = counts
+		if r.ID() == 0 {
+			owner["c0"] = cs.RankOfID(ids[string(contigs[0].Seq)])
+			owner["c1"] = cs.RankOfID(ids[string(contigs[1].Seq)])
+		}
 	})
-	// All reads from contig 0 must land on rank 0 (0 mod 4) and all reads
-	// from contig 1 on rank 1.
+	// All reads from a contig must land on the rank owning that contig.
 	totalC0, totalC1, totalJunk := 0, 0, 0
 	for rank, counts := range perRankCounts {
 		totalC0 += counts["c0"]
 		totalC1 += counts["c1"]
 		totalJunk += counts["junk"]
-		if rank != 0 && counts["c0"] > 0 {
-			t.Errorf("rank %d holds %d contig-0 reads after localization", rank, counts["c0"])
+		if rank != owner["c0"] && counts["c0"] > 0 {
+			t.Errorf("rank %d holds %d contig-0 reads after localization (owner %d)", rank, counts["c0"], owner["c0"])
 		}
-		if rank != 1 && counts["c1"] > 0 {
-			t.Errorf("rank %d holds %d contig-1 reads after localization", rank, counts["c1"])
+		if rank != owner["c1"] && counts["c1"] > 0 {
+			t.Errorf("rank %d holds %d contig-1 reads after localization (owner %d)", rank, counts["c1"], owner["c1"])
 		}
 	}
 	wantC0 := 0

@@ -1,0 +1,17 @@
+package aligner
+
+import (
+	"testing"
+
+	"mhmgo/internal/pgas"
+)
+
+// TestWireSizes pins the cost-accounting wire sizes against the reflective
+// lower bound, so the charged bytes can never silently drift below the data
+// actually moved.
+func TestWireSizes(t *testing.T) {
+	a := Alignment{ReadID: "read/1", ReadIdx: 7, ContigID: 3, ContigLen: 900, ContigPos: -4, Reverse: true, Matches: 70, Mismatch: 2, AlignLen: 72}
+	if got, min := a.WireSize(), pgas.WireSizeOf(a); got < min {
+		t.Errorf("Alignment.WireSize() = %d < encoded size %d", got, min)
+	}
+}

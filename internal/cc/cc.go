@@ -106,12 +106,16 @@ func Parallel(r *pgas.Rank, n int, localEdges []Edge, parent []int64) []int {
 	}
 
 	// Hooking phase: each rank processes its local edges, repeatedly trying
-	// to hook the larger root under the smaller one with CAS.
+	// to hook the larger root under the smaller one with CAS. The compute
+	// charge is a fixed three ops per edge (two finds plus one hook): the
+	// number of CAS retries depends on real goroutine interleaving, and
+	// charging it would make simulated seconds nondeterministic even though
+	// the resulting labels are not.
 	for _, e := range localEdges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
 			continue
 		}
-		r.Compute(2)
+		r.Compute(3)
 		for {
 			ru, rv := find(e.U), find(e.V)
 			if ru == rv {
@@ -121,7 +125,6 @@ func Parallel(r *pgas.Rank, n int, localEdges []Edge, parent []int64) []int {
 				ru, rv = rv, ru
 			}
 			// Hook the larger root under the smaller.
-			r.Compute(1)
 			if atomic.CompareAndSwapInt64(&parent[rv], int64(rv), int64(ru)) {
 				break
 			}

@@ -1,21 +1,23 @@
 // Package cgraph implements the contig-graph refinement stages of iterative
 // contig generation (Sections II-D and II-E of the paper): bubble merging,
 // hair (dead-end tip) removal, iterative depth-based graph pruning
-// (Algorithm 2), and compaction of unambiguous contig chains using a
-// speculative traversal guarded by atomic "used" flags.
+// (Algorithm 2), and compaction of unambiguous contig chains.
 //
 // The bubble-contig graph is orders of magnitude smaller than the k-mer de
 // Bruijn graph: its vertices are whole contigs and its edges are shared
-// junction (k-1)-mers. The junction index is built in a distributed hash
-// table with the aggregated update-only phase, and the per-contig
-// neighbourhood queries use one-sided reads.
+// junction (k-1)-mers. Since PR 3 the contigs themselves stay distributed
+// (dist.Set partitioned by content hash): every refinement pass scans only
+// the calling rank's shard, neighbour contigs are fetched through a cached
+// one-sided read, liveness is tracked in per-owner shards, and removal
+// proposals are routed to the owners instead of being broadcast to the
+// world. The junction index is built in a distributed hash table with the
+// aggregated update-only phase, exactly as before.
 package cgraph
 
 import (
-	"sort"
-
 	"mhmgo/internal/dbg"
 	"mhmgo/internal/dht"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
 )
@@ -63,15 +65,21 @@ func DefaultOptions(k int) Options {
 	}
 }
 
-// Result reports what refinement did.
+// Result reports what refinement did. Set is the refined distributed contig
+// set (the input set is consumed: filtered in place, or released when
+// compaction built a new one).
 type Result struct {
-	Contigs       []dbg.Contig
+	Set           *dbg.ContigSet
 	HairRemoved   int
 	BubblesMerged int
 	Pruned        int
 	PruneRounds   int
 	Compacted     int
 }
+
+// removalWireSize is the wire bytes of one removal proposal (a contig ID)
+// routed to the contig's owner.
+const removalWireSize = 8
 
 // endRef records that a contig endpoint touches a junction.
 type endRef struct {
@@ -104,42 +112,82 @@ func junctionKey(c dbg.Contig, k int, end byte) (seq.Kmer, bool) {
 
 func kmerHash(k seq.Kmer) uint64 { return k.Hash() }
 
-// graph is the in-memory view each rank builds of the bubble-contig graph.
-type graph struct {
-	k        int
-	contigs  []dbg.Contig
-	alive    []bool
-	junction *dht.Map[seq.Kmer, []endRef]
+// aliveMask tracks contig liveness in per-owner shards: each rank mutates
+// only the flags of the contigs it owns, and reading a remote flag is
+// charged as a one-byte one-sided get (free in Replicated mode, where the
+// legacy pipeline kept the mask on every rank).
+type aliveMask struct {
+	shards [][]bool
 }
 
-// buildJunctionIndex stores every contig endpoint in the distributed
-// junction index (Global Update-Only phase with aggregation).
-func buildJunctionIndex(r *pgas.Rank, contigs []dbg.Contig, k int, aggregate bool) *dht.Map[seq.Kmer, []endRef] {
+func newAliveMask(r *pgas.Rank, cs *dbg.ContigSet) *aliveMask {
+	var a *aliveMask
+	if r.ID() == 0 {
+		a = &aliveMask{shards: make([][]bool, r.NRanks())}
+	}
+	a = pgas.Broadcast(r, a)
+	shard := make([]bool, cs.Len(r))
+	for i := range shard {
+		shard[i] = true
+	}
+	a.shards[r.ID()] = shard
+	r.Barrier()
+	return a
+}
+
+// get reads a contig's liveness. It costs one compute op, not a message: a
+// real implementation stores the tombstone inside the junction refs and the
+// contig record itself, so liveness always rides along with a fetch that is
+// already charged (the junction lookup or the neighbour contig get) instead
+// of paying a dedicated one-byte message.
+func (a *aliveMask) get(r *pgas.Rank, cs *dbg.ContigSet, id int) bool {
+	owner, idx := cs.Locate(id)
+	r.Compute(1)
+	return a.shards[owner][idx]
+}
+
+// graph is the per-rank view of the distributed bubble-contig graph.
+type graph struct {
+	k        int
+	cs       *dbg.ContigSet
+	alive    *aliveMask
+	junction *dht.Map[seq.Kmer, []endRef]
+	// creader caches remote contig fetches; contig records are immutable
+	// during refinement, so the cache never goes stale.
+	creader *dist.Reader[dbg.Contig]
+}
+
+// buildJunctionIndex stores the endpoints of the local contigs selected by
+// keep (nil keeps all) in a distributed junction index (Global Update-Only
+// phase with aggregation), frozen for lock-free reads.
+func buildJunctionIndex(r *pgas.Rank, cs *dbg.ContigSet, k int, aggregate bool, keep func(i int) bool) *dht.Map[seq.Kmer, []endRef] {
 	idx := dht.NewMapCollective[seq.Kmer, []endRef](r, kmerHash, 32)
 	combine := func(existing, update []endRef, found bool) []endRef {
 		return append(existing, update...)
 	}
 	u := idx.NewUpdater(r, combine, 256, aggregate)
-	lo, hi := r.BlockRange(len(contigs))
-	for i := lo; i < hi; i++ {
-		c := contigs[i]
+	cs.ForEachLocal(r, func(i int, c dbg.Contig) {
+		if keep != nil && !keep(i) {
+			return
+		}
 		for _, end := range []byte{'L', 'R'} {
 			if key, ok := junctionKey(c, k, end); ok {
 				u.Update(key, []endRef{{ContigID: c.ID, End: end}})
 			}
 		}
 		r.Compute(2)
-	}
+	})
 	u.Flush()
 	r.Barrier()
-	// All refinement passes only read the junction index: freeze it so the
-	// CachedReader traversals below are lock-free (use case 3).
+	// Refinement and compaction only read the junction index: freeze it so
+	// the CachedReader traversals are lock-free (use case 3).
 	idx.Freeze()
 	return idx
 }
 
-// neighborsOf returns the other contig IDs attached to the two junctions of
-// contig c, split by which of c's ends they touch.
+// neighborsOf returns the other contig refs attached to the two junctions of
+// contig c, split by which of c's ends they touch. Dead neighbours are
+// filtered through the alive mask.
 func (g *graph) neighborsOf(r *pgas.Rank, reader *dht.CachedReader[seq.Kmer, []endRef], c dbg.Contig) (left, right []endRef) {
 	collect := func(end byte) []endRef {
 		key, ok := junctionKey(c, g.k, end)
@@ -152,7 +200,7 @@ func (g *graph) neighborsOf(r *pgas.Rank, reader *dht.CachedReader[seq.Kmer, []e
 			if ref.ContigID == c.ID {
 				continue
 			}
-			if ref.ContigID < len(g.alive) && !g.alive[ref.ContigID] {
+			if !g.alive.get(r, g.cs, ref.ContigID) {
 				continue
 			}
 			out = append(out, ref)
@@ -162,22 +210,47 @@ func (g *graph) neighborsOf(r *pgas.Rank, reader *dht.CachedReader[seq.Kmer, []e
 	return collect('L'), collect('R')
 }
 
-// meanNeighborDepth returns the mean depth over a set of neighbour refs.
+// meanNeighborDepth returns the mean depth over a set of neighbour refs,
+// fetching the neighbour contigs through the cached reader.
 func (g *graph) meanNeighborDepth(refs []endRef) float64 {
 	if len(refs) == 0 {
 		return 0
 	}
 	var sum float64
 	for _, ref := range refs {
-		sum += g.contigs[ref.ContigID].Depth
+		sum += g.creader.Get(ref.ContigID).Depth
 	}
 	return sum / float64(len(refs))
 }
 
-// Refine runs the configured refinement passes over the (globally
-// replicated) contig set. Collective: every rank must call it with the same
-// contig slice; every rank returns the same Result.
-func Refine(r *pgas.Rank, contigs []dbg.Contig, opts Options) Result {
+// applyRemovals routes removal proposals to the owners of the proposed
+// contigs, who mark them dead, and returns the global number of contigs that
+// actually died (a proposal for an already-dead contig is a no-op, so the
+// same bubble proposed by both arms' owners counts once).
+func (g *graph) applyRemovals(r *pgas.Rank, proposals []int) int {
+	mine := dist.Exchange(r, proposals,
+		func(id int) int { owner, _ := g.cs.Locate(id); return owner },
+		func(int) int { return removalWireSize }, g.cs.Mode())
+	n := 0
+	shard := g.alive.shards[r.ID()]
+	for _, id := range mine {
+		_, idx := g.cs.Locate(id)
+		if shard[idx] {
+			shard[idx] = false
+			n++
+		}
+	}
+	r.Compute(float64(len(mine)))
+	total := pgas.AllReduce(r, n, pgas.ReduceSum)
+	r.Barrier()
+	return total
+}
+
+// Refine runs the configured refinement passes over the distributed contig
+// set. Collective: every rank passes the shared set; every rank returns the
+// same counts, and Result.Set is the refined (filtered or compacted,
+// renumbered) set.
+func Refine(r *pgas.Rank, cs *dbg.ContigSet, opts Options) Result {
 	if opts.HairMaxLen <= 0 {
 		opts.HairMaxLen = 2 * opts.K
 	}
@@ -191,11 +264,13 @@ func Refine(r *pgas.Rank, contigs []dbg.Contig, opts Options) Result {
 		opts.MaxPruneRounds = 20
 	}
 
-	g := &graph{k: opts.K, contigs: contigs, alive: make([]bool, maxID(contigs)+1)}
-	for _, c := range contigs {
-		g.alive[c.ID] = true
+	g := &graph{
+		k:       opts.K,
+		cs:      cs,
+		alive:   newAliveMask(r, cs),
+		creader: cs.NewReader(r, 1<<16),
 	}
-	g.junction = buildJunctionIndex(r, contigs, opts.K, opts.Aggregate)
+	g.junction = buildJunctionIndex(r, cs, opts.K, opts.Aggregate, nil)
 
 	var res Result
 
@@ -209,56 +284,38 @@ func Refine(r *pgas.Rank, contigs []dbg.Contig, opts Options) Result {
 		res.Pruned, res.PruneRounds = g.prune(r, opts)
 	}
 
-	survivors := make([]dbg.Contig, 0, len(contigs))
-	for _, c := range contigs {
-		if g.alive[c.ID] {
-			survivors = append(survivors, c)
-		}
-	}
 	if opts.Compact {
-		compacted, merged := g.compact(r, survivors, opts)
+		compacted, merged := g.compact(r, opts)
 		res.Compacted = merged
-		survivors = compacted
+		res.Set = compacted
+		// The input set's contigs were folded into the compacted set.
+		cs.Release(r)
+	} else {
+		aliveShard := g.alive.shards[r.ID()]
+		i := -1
+		cs.FilterLocal(r, func(dbg.Contig) bool { i++; return aliveShard[i] })
+		dbg.RenumberContigs(r, cs)
+		res.Set = cs
 	}
-	// Re-assign dense IDs sorted by length for determinism downstream.
-	sort.Slice(survivors, func(i, j int) bool {
-		if len(survivors[i].Seq) != len(survivors[j].Seq) {
-			return len(survivors[i].Seq) > len(survivors[j].Seq)
-		}
-		return string(survivors[i].Seq) < string(survivors[j].Seq)
-	})
-	for i := range survivors {
-		survivors[i].ID = i
-	}
-	res.Contigs = survivors
 	r.Barrier()
 	return res
 }
 
-func maxID(contigs []dbg.Contig) int {
-	m := 0
-	for _, c := range contigs {
-		if c.ID > m {
-			m = c.ID
-		}
+// proposeLoser decides which arm of a bubble dies: the shallower one, with
+// the deterministic content ordering breaking depth ties. The rule depends
+// only on the two contigs' content, so both owners propose the same loser at
+// any rank count.
+func proposeLoser(c, oc dbg.Contig) int {
+	switch {
+	case c.Depth > oc.Depth:
+		return oc.ID
+	case oc.Depth > c.Depth:
+		return c.ID
+	case dbg.ContigLess(c, oc):
+		return oc.ID
+	default:
+		return c.ID
 	}
-	return m
-}
-
-// broadcastRemovals merges per-rank removal lists and applies them to the
-// alive mask on every rank, returning the global number of removals.
-func (g *graph) broadcastRemovals(r *pgas.Rank, local []int) int {
-	all := pgas.GatherV(r, local, 8)
-	n := 0
-	for _, ids := range all {
-		for _, id := range ids {
-			if g.alive[id] {
-				g.alive[id] = false
-				n++
-			}
-		}
-	}
-	return n
 }
 
 // mergeBubbles finds pairs of alive contigs that share both junctions and
@@ -266,16 +323,15 @@ func (g *graph) broadcastRemovals(r *pgas.Rank, local []int) int {
 func (g *graph) mergeBubbles(r *pgas.Rank, opts Options) int {
 	reader := g.junction.NewCachedReader(r, 1<<16, true)
 	var removals []int
-	lo, hi := r.BlockRange(len(g.contigs))
-	for i := lo; i < hi; i++ {
-		c := g.contigs[i]
-		if !g.alive[c.ID] {
-			continue
+	aliveShard := g.alive.shards[r.ID()]
+	g.cs.ForEachLocal(r, func(i int, c dbg.Contig) {
+		if !aliveShard[i] {
+			return
 		}
 		keyL, okL := junctionKey(c, g.k, 'L')
 		keyR, okR := junctionKey(c, g.k, 'R')
 		if !okL || !okR {
-			continue
+			return
 		}
 		refsL, _ := reader.Get(keyL)
 		refsR, _ := reader.Get(keyR)
@@ -286,25 +342,19 @@ func (g *graph) mergeBubbles(r *pgas.Rank, opts Options) int {
 		}
 		for _, ref := range refsL {
 			other := ref.ContigID
-			if other == c.ID || !onRight[other] || other >= len(g.alive) || !g.alive[other] {
+			if other == c.ID || !onRight[other] || !g.alive.get(r, g.cs, other) {
 				continue
 			}
-			oc := g.contigs[findByID(g.contigs, other)]
+			oc := g.creader.Get(other)
 			if !similarLength(len(c.Seq), len(oc.Seq), opts.BubbleLenTolerance) {
 				continue
 			}
-			// Remove the shallower arm; break ties by ID so exactly one of
-			// the pair is removed regardless of which rank sees it.
-			loser := c.ID
-			if c.Depth > oc.Depth || (c.Depth == oc.Depth && c.ID < other) {
-				loser = other
-			}
-			removals = append(removals, loser)
+			removals = append(removals, proposeLoser(c, oc))
 		}
 		r.Compute(float64(len(refsL) + len(refsR)))
-	}
+	})
 	r.Barrier()
-	return g.broadcastRemovals(r, removals)
+	return g.applyRemovals(r, removals)
 }
 
 func similarLength(a, b int, tol float64) bool {
@@ -318,31 +368,16 @@ func similarLength(a, b int, tol float64) bool {
 	return float64(big-small) <= tol*float64(big)
 }
 
-func findByID(contigs []dbg.Contig, id int) int {
-	// Contig IDs are dense and usually equal to the index, but search
-	// defensively in case callers pass a filtered slice.
-	if id < len(contigs) && contigs[id].ID == id {
-		return id
-	}
-	for i := range contigs {
-		if contigs[i].ID == id {
-			return i
-		}
-	}
-	return 0
-}
-
 // removeHair removes dead-end tips: contigs shorter than HairMaxLen that are
 // attached to the rest of the graph at exactly one end and dangle freely at
 // the other, where the attachment point has an alternative continuation.
 func (g *graph) removeHair(r *pgas.Rank, opts Options) int {
 	reader := g.junction.NewCachedReader(r, 1<<16, true)
 	var removals []int
-	lo, hi := r.BlockRange(len(g.contigs))
-	for i := lo; i < hi; i++ {
-		c := g.contigs[i]
-		if !g.alive[c.ID] || len(c.Seq) >= opts.HairMaxLen {
-			continue
+	aliveShard := g.alive.shards[r.ID()]
+	g.cs.ForEachLocal(r, func(i int, c dbg.Contig) {
+		if !aliveShard[i] || len(c.Seq) >= opts.HairMaxLen {
+			return
 		}
 		left, right := g.neighborsOf(r, reader, c)
 		attachedEnds := 0
@@ -356,23 +391,25 @@ func (g *graph) removeHair(r *pgas.Rank, opts Options) int {
 			attachedRefs = right
 		}
 		if attachedEnds != 1 {
-			continue
+			return
 		}
 		// The tip must be the minority continuation: some sibling at the
-		// attachment junction is deeper than the tip.
+		// attachment junction is deeper than the tip. Every sibling is
+		// inspected (no early exit): the refs arrive in flush order, which
+		// varies run to run, and a short-circuit would make the charged
+		// fetch count — and so simulated seconds — nondeterministic.
 		deeperSibling := false
 		for _, ref := range attachedRefs {
-			if g.contigs[findByID(g.contigs, ref.ContigID)].Depth > c.Depth {
+			if g.creader.Get(ref.ContigID).Depth > c.Depth {
 				deeperSibling = true
-				break
 			}
 		}
 		if deeperSibling {
 			removals = append(removals, c.ID)
 		}
-	}
+	})
 	r.Barrier()
-	return g.broadcastRemovals(r, removals)
+	return g.applyRemovals(r, removals)
 }
 
 // prune implements Algorithm 2: iteratively remove short contigs whose depth
@@ -381,25 +418,24 @@ func (g *graph) removeHair(r *pgas.Rank, opts Options) int {
 func (g *graph) prune(r *pgas.Rank, opts Options) (removedTotal, rounds int) {
 	reader := g.junction.NewCachedReader(r, 1<<16, true)
 	maxDepth := 0.0
-	for _, c := range g.contigs {
+	g.cs.ForEachLocal(r, func(_ int, c dbg.Contig) {
 		if c.Depth > maxDepth {
 			maxDepth = c.Depth
 		}
-	}
+	})
 	maxDepth = r.AllReduceFloat64(maxDepth, pgas.ReduceMax)
 	tau := 1.0
+	aliveShard := g.alive.shards[r.ID()]
 	for round := 0; round < opts.MaxPruneRounds && tau < maxDepth; round++ {
 		var removals []int
-		lo, hi := r.BlockRange(len(g.contigs))
-		for i := lo; i < hi; i++ {
-			c := g.contigs[i]
-			if !g.alive[c.ID] || len(c.Seq) > 2*opts.K {
-				continue
+		g.cs.ForEachLocal(r, func(i int, c dbg.Contig) {
+			if !aliveShard[i] || len(c.Seq) > 2*opts.K {
+				return
 			}
 			left, right := g.neighborsOf(r, reader, c)
 			neighborDepth := g.meanNeighborDepth(append(append([]endRef(nil), left...), right...))
 			if neighborDepth == 0 {
-				continue
+				return
 			}
 			limit := tau
 			if b := opts.PruneBeta * neighborDepth; b < limit {
@@ -408,17 +444,14 @@ func (g *graph) prune(r *pgas.Rank, opts Options) (removedTotal, rounds int) {
 			if c.Depth <= limit {
 				removals = append(removals, c.ID)
 			}
-		}
+		})
 		r.Barrier()
-		removed := g.broadcastRemovals(r, removals)
+		removed := g.applyRemovals(r, removals)
 		removedTotal += removed
 		rounds++
-		prunedFlag := 0.0
-		if removed > 0 {
-			prunedFlag = 1
-		}
-		// Convergence detection: all-reduce the pruned flag with max.
-		if r.AllReduceFloat64(prunedFlag, pgas.ReduceMax) == 0 {
+		if removed == 0 {
+			// Convergence: applyRemovals already all-reduced the count, so
+			// every rank agrees.
 			break
 		}
 		tau *= 1 + opts.PruneAlpha

@@ -5,19 +5,30 @@ import (
 	"testing"
 
 	"mhmgo/internal/dbg"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
 )
 
-// runRefine executes Refine over the given contigs on a fresh machine.
-func runRefine(t *testing.T, contigs []dbg.Contig, ranks int, opts Options) Result {
+// refineOut is a Result plus the refined contigs emitted to rank 0.
+type refineOut struct {
+	Result
+	Contigs []dbg.Contig
+}
+
+// runRefine distributes the given contigs, executes Refine on a fresh
+// machine, and emits the refined set for inspection.
+func runRefine(t *testing.T, contigs []dbg.Contig, ranks int, opts Options) refineOut {
 	t.Helper()
 	m := pgas.NewMachine(pgas.Config{Ranks: ranks})
-	var res Result
+	var res refineOut
 	m.Run(func(r *pgas.Rank) {
-		got := Refine(r, contigs, opts)
+		lo, hi := r.BlockRange(len(contigs))
+		cs := dbg.DistributeContigs(r, contigs[lo:hi], dist.Distributed)
+		got := Refine(r, cs, opts)
+		all := dbg.EmitContigs(r, got.Set)
 		if r.ID() == 0 {
-			res = got
+			res = refineOut{Result: got, Contigs: all}
 		}
 	})
 	return res

@@ -1,17 +1,15 @@
 package cgraph
 
 import (
-	"sort"
-
 	"mhmgo/internal/dbg"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
 )
 
-// oriented identifies a contig together with the orientation it is being
-// read in during a chain walk.
+// orientedContig identifies a contig (by global ID) together with the
+// orientation it is being read in during a chain walk.
 type orientedContig struct {
-	idx     int
+	id      int
 	flipped bool
 }
 
@@ -25,118 +23,112 @@ func orientedSeq(c dbg.Contig, flipped bool) []byte {
 
 // compact merges chains of surviving contigs that are connected through
 // junctions touched by exactly two contig ends (i.e. the connection is
-// unambiguous after bubble merging, hair removal and pruning). The walk over
-// the bubble-contig graph mirrors the paper's traversal of the contracted
-// contig graph; each chain is emitted exactly once, in canonical
-// orientation, by the rank owning its starting contig.
-func (g *graph) compact(r *pgas.Rank, survivors []dbg.Contig, opts Options) ([]dbg.Contig, int) {
+// unambiguous after bubble merging, hair removal and pruning). Each rank
+// walks only the chains that start at contigs it owns, following the chain
+// through a survivors-only junction index and fetching remote chain members
+// through the cached contig reader; no rank materializes the survivor set.
+// Each chain is emitted exactly once, in canonical orientation, by the rank
+// owning its starting contig, and the emitted chains are redistributed into
+// a fresh contig set (content-routed, deduplicated, ExScan-renumbered).
+func (g *graph) compact(r *pgas.Rank, opts Options) (*dbg.ContigSet, int) {
 	j := opts.K - 1
-	if j < 1 || len(survivors) == 0 {
-		return survivors, 0
+	aliveShard := g.alive.shards[r.ID()]
+
+	if j < 1 {
+		// Degenerate k: no junctions to merge through; just keep survivors.
+		var keep []dbg.Contig
+		g.cs.ForEachLocal(r, func(i int, c dbg.Contig) {
+			if aliveShard[i] {
+				keep = append(keep, c)
+			}
+		})
+		return dbg.DistributeContigs(r, keep, g.cs.Mode()), 0
 	}
 
-	// Index junctions over the survivors only. The contig graph is small, so
-	// every rank builds the same index; the distributed junction index built
-	// earlier already paid the communication cost of assembling it.
-	type ref struct {
-		idx int
-		end byte
-	}
-	index := make(map[seq.Kmer][]ref)
-	for i, c := range survivors {
-		for _, end := range []byte{'L', 'R'} {
-			if key, ok := junctionKey(c, opts.K, end); ok {
-				index[key] = append(index[key], ref{idx: i, end: end})
-			}
-		}
-	}
-	r.Compute(float64(2 * len(survivors)))
+	// Index the junctions of the survivors only, so chain walks need no
+	// liveness checks.
+	sidx := buildJunctionIndex(r, g.cs, opts.K, opts.Aggregate, func(i int) bool { return aliveShard[i] })
+	sreader := sidx.NewCachedReader(r, 1<<16, true)
 
 	// simplePartner returns the unique other contig end attached to the
 	// oriented contig's outgoing junction, or ok=false if the junction is
-	// ambiguous or a dead end.
-	simplePartner := func(o orientedContig) (orientedContig, bool) {
-		c := survivors[o.idx]
+	// ambiguous or a dead end. c must be the contig identified by o.id.
+	simplePartner := func(o orientedContig, c dbg.Contig) (orientedContig, dbg.Contig, bool) {
 		end := byte('R')
 		if o.flipped {
 			end = 'L'
 		}
 		key, ok := junctionKey(c, opts.K, end)
 		if !ok {
-			return orientedContig{}, false
+			return orientedContig{}, dbg.Contig{}, false
 		}
-		refs := index[key]
+		refs, _ := sreader.Get(key)
 		if len(refs) != 2 {
-			return orientedContig{}, false
+			return orientedContig{}, dbg.Contig{}, false
 		}
-		var other ref
+		var other endRef
 		found := false
 		for _, rf := range refs {
-			if rf.idx != o.idx {
+			if rf.ContigID != o.id {
 				other = rf
 				found = true
 			}
 		}
 		if !found {
 			// Both ends belong to the same contig (a self-loop); stop.
-			return orientedContig{}, false
+			return orientedContig{}, dbg.Contig{}, false
 		}
 		// Orient the partner so that its (k-1)-prefix matches our suffix.
 		suffix := orientedSeq(c, o.flipped)
 		suffix = suffix[len(suffix)-j:]
-		oc := survivors[other.idx]
+		oc := g.creader.Get(other.ContigID)
 		for _, flipped := range []bool{false, true} {
 			s := orientedSeq(oc, flipped)
 			if len(s) >= j && string(s[:j]) == string(suffix) {
-				return orientedContig{idx: other.idx, flipped: flipped}, true
+				return orientedContig{id: other.ContigID, flipped: flipped}, oc, true
 			}
 		}
-		return orientedContig{}, false
+		return orientedContig{}, dbg.Contig{}, false
 	}
 
 	// isChainStart reports whether no unambiguous predecessor exists for the
 	// oriented contig (walking would not arrive here from a simple junction).
-	isChainStart := func(o orientedContig) bool {
-		rev := orientedContig{idx: o.idx, flipped: !o.flipped}
-		back, ok := simplePartner(rev)
-		if !ok {
-			return true
-		}
-		// The predecessor must also agree that we are its unique successor;
-		// simplePartner is symmetric by construction, so a valid partner
-		// means this is not a start.
-		_ = back
-		return false
+	isChainStart := func(o orientedContig, c dbg.Contig) bool {
+		rev := orientedContig{id: o.id, flipped: !o.flipped}
+		_, _, ok := simplePartner(rev, c)
+		return !ok
 	}
 
-	lo, hi := r.BlockRange(len(survivors))
 	var localOut []dbg.Contig
 	mergedCount := 0
-	for i := lo; i < hi; i++ {
+	g.cs.ForEachLocal(r, func(i int, c dbg.Contig) {
+		if !aliveShard[i] {
+			return
+		}
 		for _, flipped := range []bool{false, true} {
-			start := orientedContig{idx: i, flipped: flipped}
-			if !isChainStart(start) {
+			start := orientedContig{id: c.ID, flipped: flipped}
+			if !isChainStart(start, c) {
 				continue
 			}
-			// Walk the chain.
-			cur := start
-			merged := append([]byte(nil), orientedSeq(survivors[cur.idx], cur.flipped)...)
-			depthWeight := survivors[cur.idx].Depth * float64(len(survivors[cur.idx].Seq))
-			totalLen := len(survivors[cur.idx].Seq)
-			visited := map[int]bool{cur.idx: true}
+			// Walk the chain, fetching remote members through the cache.
+			cur, cc := start, c
+			merged := append([]byte(nil), orientedSeq(cc, cur.flipped)...)
+			depthWeight := cc.Depth * float64(len(cc.Seq))
+			totalLen := len(cc.Seq)
+			visited := map[int]bool{cur.id: true}
 			links := 0
 			for {
-				next, ok := simplePartner(cur)
-				if !ok || visited[next.idx] {
+				next, nc, ok := simplePartner(cur, cc)
+				if !ok || visited[next.id] {
 					break
 				}
-				ns := orientedSeq(survivors[next.idx], next.flipped)
+				ns := orientedSeq(nc, next.flipped)
 				merged = append(merged, ns[j:]...)
-				depthWeight += survivors[next.idx].Depth * float64(len(survivors[next.idx].Seq))
-				totalLen += len(survivors[next.idx].Seq)
-				visited[next.idx] = true
+				depthWeight += nc.Depth * float64(len(nc.Seq))
+				totalLen += len(nc.Seq)
+				visited[next.id] = true
 				links++
-				cur = next
+				cur, cc = next, nc
 				r.Compute(1)
 			}
 			// Emit each chain once, in canonical orientation.
@@ -150,32 +142,14 @@ func (g *graph) compact(r *pgas.Rank, survivors []dbg.Contig, opts Options) ([]d
 			})
 			mergedCount += links
 		}
-	}
+	})
 	r.Barrier()
 
-	// Gather the compacted contigs from all ranks and deduplicate (the same
-	// palindromic chain may be emitted from both ends).
-	all := pgas.GatherVFunc(r, localOut, func(c dbg.Contig) int { return 16 + len(c.Seq) })
-	var out []dbg.Contig
-	for _, cs := range all {
-		out = append(out, cs...)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if len(out[a].Seq) != len(out[b].Seq) {
-			return len(out[a].Seq) > len(out[b].Seq)
-		}
-		return string(out[a].Seq) < string(out[b].Seq)
-	})
-	dedup := out[:0]
-	var prev string
-	for i, c := range out {
-		s := string(c.Seq)
-		if i > 0 && s == prev {
-			continue
-		}
-		prev = s
-		dedup = append(dedup, c)
-	}
+	// Redistribute the compacted chains: content-routed so the same
+	// palindromic chain emitted from both ends (possibly on two different
+	// ranks) collides on one owner and is deduplicated there, then
+	// ExScan-renumbered. No gather, no world sort.
+	out := dbg.DistributeContigs(r, localOut, g.cs.Mode())
 	totalMerged := pgas.AllReduce(r, mergedCount, pgas.ReduceSum)
-	return dedup, totalMerged
+	return out, totalMerged
 }

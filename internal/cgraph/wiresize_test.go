@@ -1,0 +1,15 @@
+package cgraph
+
+import (
+	"testing"
+
+	"mhmgo/internal/pgas"
+)
+
+// TestWireSizes pins the removal-proposal wire size (a contig ID) against
+// the reflective lower bound.
+func TestWireSizes(t *testing.T) {
+	if min := pgas.WireSizeOf(int(1 << 60)); removalWireSize < min {
+		t.Errorf("removalWireSize = %d < encoded size %d", removalWireSize, min)
+	}
+}

@@ -6,10 +6,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"mhmgo/internal/aligner"
 	"mhmgo/internal/cgraph"
 	"mhmgo/internal/dbg"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/hmm"
 	"mhmgo/internal/kmeranalysis"
 	"mhmgo/internal/localasm"
@@ -64,6 +66,14 @@ type Config struct {
 	ReadLocalization bool
 	WorkStealing     bool
 	UseComponents    bool
+	// GatherToAll reverts the pipeline's record collections (contigs,
+	// alignments, extensions, links, scaffolds) to the legacy gather-to-all
+	// pattern: every collection is charged — and its memory footprint
+	// accounted — as if materialized on every rank. Results are bit-identical
+	// to the distributed-ownership default; only cost and peak resident
+	// bytes differ. This is the baseline of the distributed-ownership
+	// ablation.
+	GatherToAll bool
 
 	// Pipeline stage toggles.
 	BubbleMerging bool
@@ -268,13 +278,21 @@ type rankOutput struct {
 func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOutput {
 	var out rankOutput
 
+	mode := dist.Distributed
+	if cfg.GatherToAll {
+		mode = dist.Replicated
+	}
+
 	// Initial block distribution of the reads, in whole pairs.
 	lo, hi := r.PairBlockRange(len(allReads))
 	myReads := allReads[lo:hi]
 	readOffset := lo
 
-	var contigs []dbg.Contig
+	var cset *dbg.ContigSet
 	var lastAligns []aligner.Alignment
+	// Resident bytes charged for the current localized read set; released
+	// when the next localization round replaces it.
+	shippedReadBytes := 0
 
 	for it, k := range ks {
 		// Stage 1: k-mer analysis.
@@ -291,28 +309,32 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 		r.StageEnd(StageKmerAnalysis, st)
 
 		// Stage 1b: merge the previous iteration's contig k-mers (Section
-		// II-H) so low-coverage organisms keep their assembled regions.
-		if it > 0 && len(contigs) > 0 {
+		// II-H) so low-coverage organisms keep their assembled regions. The
+		// contigs are owner-distributed, so each rank merges its own shard.
+		if it > 0 && cset != nil {
 			st = r.StageStart()
-			cLo, cHi := r.BlockRange(len(contigs))
 			var seqs [][]byte
-			for _, c := range contigs[cLo:cHi] {
-				seqs = append(seqs, c.Seq)
-			}
+			cset.ForEachLocal(r, func(_ int, c dbg.Contig) { seqs = append(seqs, c.Seq) })
 			kmeranalysis.MergeContigKmers(r, kares.Counts, seqs, k, cfg.MinKmerCount+1)
 			r.StageEnd(StageKmerMerge, st)
 		}
 
-		// Stage 2: de Bruijn graph construction and traversal.
+		// Stage 2: de Bruijn graph construction and traversal. The emitted
+		// contigs are routed to their content-hash owners and renumbered
+		// with an exclusive scan; the previous iteration's set is released.
 		st = r.StageStart()
 		topts := dbg.ThresholdOptions{TBase: cfg.TBase, ErrorRate: cfg.ErrorRate, GlobalTHQ: cfg.GlobalTHQ, MinCount: 1}
 		graph := dbg.Build(r, kares.Counts, k, topts)
 		local := dbg.Traverse(r, graph, dbg.TraverseOptions{})
-		contigs = dbg.GatherContigs(r, local)
+		next := dbg.DistributeContigs(r, local, mode)
+		if cset != nil {
+			cset.Release(r)
+		}
+		cset = next
 		r.StageEnd(StageDBGTraversal, st)
 
 		// Stages 3-4: bubble merging, hair removal, iterative pruning,
-		// chain compaction.
+		// chain compaction (all on the distributed set).
 		st = r.StageStart()
 		copts := cgraph.DefaultOptions(k)
 		copts.MergeBubbles = cfg.BubbleMerging
@@ -320,15 +342,15 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 		copts.Prune = cfg.Pruning
 		copts.Compact = cfg.Compaction
 		copts.Aggregate = cfg.Aggregate
-		refined := cgraph.Refine(r, contigs, copts)
-		contigs = refined.Contigs
+		refined := cgraph.Refine(r, cset, copts)
+		cset = refined.Set
 		r.StageEnd(StageContigRefine, st)
 
 		// Stage 5: read-to-contig alignment.
 		st = r.StageStart()
 		aopts := aligner.DefaultOptions(minInt(k, 31))
 		aopts.UseCache = cfg.SoftwareCache
-		idx := aligner.BuildIndex(r, contigs, aopts)
+		idx := aligner.BuildIndex(r, cset, aopts)
 		aligns, astats := aligner.AlignReads(r, idx, myReads, readOffset, aopts)
 		lastAligns = aligns
 		alignedLocal := int64(astats.ReadsAligned)
@@ -341,27 +363,34 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 		out.cacheHitRate = astats.CacheHitRate
 		r.StageEnd(StageAlignment, st)
 
-		// Stage 6: local assembly (mer-walking with work stealing).
+		// Stage 6: local assembly (mer-walking with work sharing); the
+		// extensions are applied owner-side in place.
 		if cfg.LocalAssembly {
 			st = r.StageStart()
 			lopts := localasm.DefaultOptions(k)
 			lopts.WorkStealing = cfg.WorkStealing
-			lres := localasm.Run(r, contigs, myReads, readOffset, aligns, lopts)
-			contigs = lres.Contigs
+			lres := localasm.Run(r, cset, myReads, readOffset, aligns, lopts)
 			out.localAsmBases = lres.ExtendedBases
 			r.StageEnd(StageLocalAssembly, st)
 		}
 
 		// Read localization (Section II-I): after the first iteration the
-		// reads are redistributed so reads aligned to the same contig live
-		// on the same rank.
+		// reads are redistributed so reads aligned to a contig live on the
+		// rank that owns the contig.
 		if cfg.ReadLocalization && it < len(ks)-1 {
-			myReads, readOffset = localizePairs(r, myReads, readOffset, lastAligns)
+			// The previous round's shipped reads are superseded by this
+			// exchange: return their resident charge before re-charging.
+			r.ReleaseResident(shippedReadBytes)
+			myReads, readOffset, shippedReadBytes = localizePairs(r, cset, myReads, readOffset, lastAligns)
 			lastAligns = nil
 		}
 	}
 
-	out.contigs = filterContigs(contigs, cfg.MinContigLen)
+	// Drop short contigs shard-locally and re-densify the IDs.
+	if cfg.MinContigLen > 0 {
+		cset.FilterLocal(r, func(c dbg.Contig) bool { return len(c.Seq) >= cfg.MinContigLen })
+		dbg.RenumberContigs(r, cset)
+	}
 
 	// Scaffolding (Algorithm 3).
 	if cfg.Scaffolding {
@@ -369,24 +398,65 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 		finalK := ks[len(ks)-1]
 		aopts := aligner.DefaultOptions(minInt(finalK, 31))
 		aopts.UseCache = cfg.SoftwareCache
-		idx := aligner.BuildIndex(r, out.contigs, aopts)
+		idx := aligner.BuildIndex(r, cset, aopts)
 		aligns, _ := aligner.AlignReads(r, idx, myReads, readOffset, aopts)
 		sopts := scaffold.DefaultOptions(finalK, cfg.InsertSize)
 		sopts.Aggregate = cfg.Aggregate
 		sopts.UseComponents = cfg.UseComponents
 		sopts.RRNAProfile = cfg.RRNAProfile
-		sres := scaffold.Run(r, out.contigs, myReads, readOffset, aligns, sopts)
+		sres := scaffold.Run(r, cset, myReads, readOffset, aligns, sopts)
 		out.scaffolds = sres.Scaffolds
 		out.scaffoldResult = sres
 		r.StageEnd(StageScaffolding, st)
 	}
+
+	// Final output: one rank-ordered emit onto rank 0, which sorts into the
+	// deterministic global order and renumbers. The scaffolds recorded the
+	// distributed set's internal IDs, so their member lists are remapped to
+	// the emitted numbering — Scaffold.ContigIDs must keep indexing
+	// Result.Contigs. Every other rank reports nil.
+	emitted := cset.Emit(r)
+	if emitted != nil {
+		order := make([]int, len(emitted))
+		for i := range order {
+			order[i] = i
+		}
+		sortContigOrder(emitted, order)
+		idMap := make(map[int]int, len(emitted))
+		sorted := make([]dbg.Contig, len(emitted))
+		for newID, oldIdx := range order {
+			c := emitted[oldIdx]
+			idMap[c.ID] = newID
+			c.ID = newID
+			sorted[newID] = c
+		}
+		for si := range out.scaffolds {
+			ids := out.scaffolds[si].ContigIDs
+			for i, id := range ids {
+				ids[i] = idMap[id]
+			}
+		}
+		out.contigs = sorted
+		r.Compute(float64(len(sorted)))
+	}
 	return out
 }
 
+// sortContigOrder sorts the index slice so that order[i] is the position in
+// contigs of the i-th contig under the deterministic global contig ordering.
+func sortContigOrder(contigs []dbg.Contig, order []int) {
+	sort.Slice(order, func(i, j int) bool {
+		return dbg.ContigLess(contigs[order[i]], contigs[order[j]])
+	})
+}
+
 // localizePairs redistributes read pairs so that pairs aligned to contig c
-// land on rank (c mod P). It returns the rank's new reads and its new global
-// read offset (pairs stay intact, so mate indices remain 2i / 2i+1).
-func localizePairs(r *pgas.Rank, reads []seq.Read, readOffset int, aligns []aligner.Alignment) ([]seq.Read, int) {
+// land on c's owner rank in the distributed contig set. It returns the
+// rank's new reads, its new global read offset (pairs stay intact, so mate
+// indices remain 2i / 2i+1), and the resident bytes the exchange charged
+// for the received pairs — the caller releases them when the read set is
+// next replaced.
+func localizePairs(r *pgas.Rank, cset *dbg.ContigSet, reads []seq.Read, readOffset int, aligns []aligner.Alignment) ([]seq.Read, int, int) {
 	p := r.NRanks()
 	// Destination per local pair, defaulting to the current rank.
 	nPairs := len(reads) / 2
@@ -401,16 +471,9 @@ func localizePairs(r *pgas.Rank, reads []seq.Read, readOffset int, aligns []alig
 		}
 		pair := li / 2
 		if pair < nPairs {
-			d := a.ContigID % p
-			if d < 0 {
-				d += p
-			}
-			dest[pair] = d
+			owner, _ := cset.Locate(a.ContigID)
+			dest[pair] = owner
 		}
-	}
-	type pairMsg struct {
-		R1, R2 seq.Read
-		Dest   int
 	}
 	out := make([][]pairMsg, p)
 	for i := 0; i < nPairs; i++ {
@@ -421,41 +484,31 @@ func localizePairs(r *pgas.Rank, reads []seq.Read, readOffset int, aligns []alig
 	if len(reads)%2 == 1 {
 		tail = append(tail, reads[len(reads)-1])
 	}
-	incoming := pgas.AllToAll(r, out, 240)
+	incoming := pgas.AllToAllV(r, out, pairMsg.WireSize)
 	var newReads []seq.Read
+	receivedBytes := 0
 	for _, batch := range incoming {
 		for _, pm := range batch {
 			newReads = append(newReads, pm.R1, pm.R2)
+			receivedBytes += pm.WireSize()
 		}
 	}
 	newReads = append(newReads, tail...)
-	// Recompute a consistent global offset: exclusive prefix sum of counts.
-	counts := pgas.Gather(r, len(newReads))
-	offset := 0
-	for i := 0; i < r.ID(); i++ {
-		offset += counts[i]
-	}
-	return newReads, offset
+	// The new global offset is the exclusive prefix sum of the per-rank
+	// counts: one ExScan (log2 P rounds), not a P-word gather plus a loop.
+	offset := pgas.ExScan(r, len(newReads), pgas.ReduceSum)
+	return newReads, offset, receivedBytes
 }
 
-func filterContigs(contigs []dbg.Contig, minLen int) []dbg.Contig {
-	if minLen <= 0 {
-		return contigs
-	}
-	out := contigs[:0]
-	for _, c := range contigs {
-		if len(c.Seq) >= minLen {
-			out = append(out, c)
-		}
-	}
-	// Re-densify IDs.
-	final := make([]dbg.Contig, len(out))
-	copy(final, out)
-	for i := range final {
-		final[i].ID = i
-	}
-	return final
+// pairMsg is one read pair shipped to its contig's owner rank during read
+// localization.
+type pairMsg struct {
+	R1, R2 seq.Read
+	Dest   int
 }
+
+// WireSize returns the wire bytes of one shipped pair.
+func (pm pairMsg) WireSize() int { return pm.R1.WireSize() + pm.R2.WireSize() + 8 }
 
 func minInt(a, b int) int {
 	if a < b {

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mhmgo/internal/seq"
+	"mhmgo/internal/sim"
+)
+
+// outputFingerprint flattens the final sequences into one comparable blob.
+func outputFingerprint(res *Result) string {
+	var buf bytes.Buffer
+	for _, s := range res.FinalSequences() {
+		buf.Write(s)
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
+
+// determinismMemo carries first-execution results across -count=2 reruns of
+// the test binary: package-level state survives between the repeated
+// executions of the same test within one process.
+var determinismMemo = map[int]string{}
+
+// TestPipelineDeterministicAcrossRuns runs the full pipeline at P in
+// {1, 3, 8} (including a non-power-of-two rank count) and asserts that the
+// scaffold output and the simulated seconds are identical every time the
+// test executes. Run with -count=2 (as CI does) to compare two full
+// executions; within one execution the pipeline additionally runs twice per
+// P. Every source of run-to-run variance — goroutine interleavings in the
+// DHT flush order, work-sharing claim order, cache-access ordering — must be
+// invisible in both the assembly and the simulated clock.
+func TestPipelineDeterministicAcrossRuns(t *testing.T) {
+	_, reads := smallCommunity(t, 2, 12)
+	for _, ranks := range []int{1, 3, 8} {
+		run := func() string {
+			res, err := Assemble(reads, testConfig(ranks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fmt.Sprintf("scaffolds=%d sim=%.17g\n%s",
+				len(res.Scaffolds), res.SimSeconds, outputFingerprint(res))
+		}
+		got := run()
+		if again := run(); again != got {
+			t.Errorf("P=%d: two in-process runs differ:\n%.200s\nvs\n%.200s", ranks, got, again)
+		}
+		if prev, ok := determinismMemo[ranks]; ok {
+			if prev != got {
+				t.Errorf("P=%d: output or simulated seconds changed between -count reruns:\n%.200s\nvs\n%.200s",
+					ranks, prev, got)
+			}
+		} else {
+			determinismMemo[ranks] = got
+		}
+	}
+}
+
+// TestDistributedOwnershipEquivalentAndLean is the acceptance test of the
+// distributed-ownership refactor:
+//
+//  1. At P in {1, 3, 8}, the distributed pipeline's scaffold output is
+//     byte-identical to the gather-to-all baseline's (Config.GatherToAll),
+//     which preserves the legacy communication/memory pattern.
+//  2. At P=64, the worst rank's peak resident collective bytes shrink by at
+//     least 4x when gather-to-all is replaced by distributed ownership.
+func TestDistributedOwnershipEquivalentAndLean(t *testing.T) {
+	_, reads := smallCommunity(t, 2, 12)
+	run := func(ranks int, gatherToAll bool) *Result {
+		cfg := testConfig(ranks)
+		cfg.GatherToAll = gatherToAll
+		res, err := Assemble(reads, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	for _, ranks := range []int{1, 3, 8} {
+		distRes := run(ranks, false)
+		gatherRes := run(ranks, true)
+		if d, g := outputFingerprint(distRes), outputFingerprint(gatherRes); d != g {
+			t.Errorf("P=%d: distributed output differs from the gather-to-all baseline", ranks)
+		}
+		if len(distRes.Scaffolds) == 0 {
+			t.Fatalf("P=%d: no scaffolds produced", ranks)
+		}
+		// Scaffold member IDs must index Result.Contigs (the emitted,
+		// re-sorted numbering), not the pipeline-internal shard numbering:
+		// each scaffold starts with its first member contig verbatim (in
+		// one orientation or the other).
+		for _, sc := range distRes.Scaffolds {
+			for _, id := range sc.ContigIDs {
+				if id < 0 || id >= len(distRes.Contigs) {
+					t.Fatalf("P=%d: scaffold %d references contig %d of %d", ranks, sc.ID, id, len(distRes.Contigs))
+				}
+			}
+			first := distRes.Contigs[sc.ContigIDs[0]].Seq
+			if len(sc.Seq) < len(first) {
+				t.Fatalf("P=%d: scaffold %d shorter than its first member contig", ranks, sc.ID)
+			}
+			prefix := string(sc.Seq[:len(first)])
+			if prefix != string(first) && prefix != string(seq.ReverseComplement(first)) {
+				t.Errorf("P=%d: scaffold %d does not begin with its first member contig", ranks, sc.ID)
+			}
+		}
+	}
+
+	// The memory assertion runs on a wider, flatter community: with P=64 far
+	// above the contig count of a two-genome toy, ownership (and the reads
+	// localized to it) cannot spread, and the shared localization spike
+	// floors both modes. Two dozen small genomes give the owner function
+	// enough granularity for the footprint gap to be about ownership, not
+	// about running 64 ranks on 4 contigs.
+	comm64 := sim.GenerateCommunity(sim.CommunityConfig{
+		NumGenomes:     24,
+		MeanGenomeLen:  2000,
+		LenVariation:   0.2,
+		AbundanceSigma: 0.3,
+		RRNALen:        150,
+		StrainFraction: 0,
+		Seed:           71,
+	})
+	reads = sim.SimulateReads(comm64, sim.ReadConfig{
+		ReadLen: 80, InsertSize: 220, InsertStd: 15,
+		ErrorRate: 0.005, Coverage: 8, Seed: 72,
+	})
+
+	const p = 64
+	distRes := run(p, false)
+	gatherRes := run(p, true)
+	if d, g := outputFingerprint(distRes), outputFingerprint(gatherRes); d != g {
+		t.Errorf("P=%d: distributed output differs from the gather-to-all baseline", p)
+	}
+	distPeak := distRes.Stats.PeakResidentBytes
+	gatherPeak := gatherRes.Stats.PeakResidentBytes
+	t.Logf("P=%d peak resident bytes: gather-to-all=%d distributed=%d (%.1fx)",
+		p, gatherPeak, distPeak, float64(gatherPeak)/float64(distPeak))
+	if distPeak == 0 || gatherPeak == 0 {
+		t.Fatal("peak resident tracking recorded nothing")
+	}
+	if float64(gatherPeak) < 4*float64(distPeak) {
+		t.Errorf("distributed ownership should cut the worst rank's peak resident bytes >=4x at P=%d: %d vs %d",
+			p, gatherPeak, distPeak)
+	}
+}

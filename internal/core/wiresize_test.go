@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
+)
+
+// TestWireSizes pins the read-pair localization wire size against the
+// reflective lower bound.
+func TestWireSizes(t *testing.T) {
+	rd := seq.Read{ID: "p/1", Seq: []byte("ACGTACGTAC"), Qual: []byte("IIIIIIIIII")}
+	pm := pairMsg{R1: rd, R2: rd, Dest: 3}
+	if got, min := pm.WireSize(), pgas.WireSizeOf(pm); got < min {
+		t.Errorf("pairMsg.WireSize() = %d < encoded size %d", got, min)
+	}
+}

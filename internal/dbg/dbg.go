@@ -17,9 +17,11 @@ package dbg
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"mhmgo/internal/dht"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
 )
@@ -45,6 +47,10 @@ type Contig struct {
 
 // Len returns the contig length in bases.
 func (c Contig) Len() int { return len(c.Seq) }
+
+// WireSize returns the wire bytes charged when a contig is routed or
+// gathered: the ID and depth words plus the sequence itself.
+func (c Contig) WireSize() int { return 16 + len(c.Seq) }
 
 // CanonicalSeq returns the lexicographically smaller of the contig sequence
 // and its reverse complement; two contigs representing the same genomic
@@ -220,15 +226,30 @@ type TraverseOptions struct {
 
 // Traverse generates contigs from the graph. Collective: every rank walks
 // the paths that start at k-mers it owns and returns only the contigs it
-// emitted; use GatherContigs to collect the full set. Contigs are emitted in
-// canonical orientation exactly once.
+// emitted; use DistributeContigs to build the owner-distributed set. Contigs
+// are emitted in canonical orientation exactly once.
+//
+// The walks start in sorted k-mer order, not map-iteration order: each walk
+// charges a different amount of simulated work, and folding the same charges
+// into the clock in a run-to-run-varying order would drift the simulated
+// seconds by floating-point rounding.
 func Traverse(r *pgas.Rank, g *Graph, opts TraverseOptions) []Contig {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = g.Entries.Len() + 1
 	}
-	var out []Contig
+	type vertex struct {
+		km seq.Kmer
+		e  Entry
+	}
+	var local []vertex
 	g.Entries.ForEachLocal(r, func(km seq.Kmer, e Entry) {
+		local = append(local, vertex{km: km, e: e})
+	})
+	sort.Slice(local, func(i, j int) bool { return local[i].km.Less(local[j].km) })
+	var out []Contig
+	for _, v := range local {
+		km, e := v.km, v.e
 		for _, forward := range []bool{true, false} {
 			cur := oriented{key: km, forward: forward}
 			if !g.isPathStart(r, cur, e) {
@@ -246,7 +267,7 @@ func Traverse(r *pgas.Rank, g *Graph, opts TraverseOptions) []Contig {
 			}
 			out = append(out, Contig{Seq: contigSeq, Depth: seq.MeanDepthFromCounts(counts)})
 		}
-	})
+	}
 	r.Barrier()
 	return out
 }
@@ -275,37 +296,85 @@ func (g *Graph) walk(r *pgas.Rank, start oriented, e Entry, maxSteps int) ([]byt
 	return contigSeq, counts
 }
 
-// GatherContigs collects the contigs emitted by every rank, assigns dense
-// IDs (sorted by descending length, then sequence, for determinism), and
-// returns the full set on every rank.
-func GatherContigs(r *pgas.Rank, local []Contig) []Contig {
-	all := pgas.GatherVFunc(r, local, func(c Contig) int { return 16 + len(c.Seq) })
-	var merged []Contig
-	for _, cs := range all {
-		merged = append(merged, cs...)
+// ContigSet is the distributed contig collection the pipeline passes between
+// stages: contigs partitioned by content over the ranks, with dense global
+// IDs assigned by an exclusive prefix scan.
+type ContigSet = dist.Set[Contig]
+
+// ContigOwner is the owner function of the distributed contig set: a
+// well-mixed content hash, so exact duplicates (palindromic paths emitted
+// from both ends, possibly on different ranks) always collide on the same
+// owner and owner-local dedup is global dedup. Contigs are emitted in
+// canonical orientation, so duplicates are byte-identical.
+func ContigOwner(c Contig) int {
+	h := fnv.New64a()
+	h.Write(c.Seq)
+	// Mask to a non-negative int before the modulo the Set applies.
+	return int(h.Sum64() & (1<<63 - 1))
+}
+
+// ContigLess is the deterministic contig ordering used within each shard
+// (descending length, then sequence). It depends only on content, never on
+// IDs, so shard order — and everything downstream of it — is independent of
+// the rank count.
+func ContigLess(a, b Contig) bool {
+	if len(a.Seq) != len(b.Seq) {
+		return len(a.Seq) > len(b.Seq)
 	}
-	sort.Slice(merged, func(i, j int) bool {
-		if len(merged[i].Seq) != len(merged[j].Seq) {
-			return len(merged[i].Seq) > len(merged[j].Seq)
-		}
-		return string(merged[i].Seq) < string(merged[j].Seq)
-	})
-	// Drop exact duplicates (e.g. palindromic paths emitted from both ends).
-	dedup := merged[:0]
-	var prev string
-	for i, c := range merged {
-		s := string(c.Seq)
-		if i > 0 && s == prev {
-			continue
-		}
-		prev = s
-		dedup = append(dedup, c)
+	return string(a.Seq) < string(b.Seq)
+}
+
+// DistributeContigs builds the distributed contig set from the contigs each
+// rank emitted, in two owner-routed exchanges and with no gather anywhere:
+//
+//  1. Contigs are routed to their content-hash owner, where exact duplicates
+//     (always byte-identical, since contigs are emitted in canonical
+//     orientation) collide and are deduplicated after a local sort.
+//  2. The deduplicated shards — already size-sorted — are striped round-robin
+//     over the ranks by local size rank, so every rank ends up owning an
+//     even cross-section of large and small contigs. Ownership byte balance
+//     matters downstream: read localization ships every read pair to its
+//     contig's owner, so a byte-skewed ownership becomes a load-skewed
+//     machine.
+//
+// The final shards are sorted and densely renumbered with an exclusive
+// prefix scan. This replaces the old gather-to-all +
+// sort-the-world-on-every-rank GatherContigs. Collective.
+func DistributeContigs(r *pgas.Rank, local []Contig, mode dist.Mode) *ContigSet {
+	home := dist.New(r, local, ContigOwner, Contig.WireSize, mode)
+	home.SortLocal(r, ContigLess)
+	home.DedupLocal(r, func(a, b Contig) bool { return string(a.Seq) == string(b.Seq) })
+	deduped := append([]Contig(nil), home.Local(r)...)
+	home.Release(r)
+	s := dist.NewIndexed(r, deduped,
+		func(src, i int, _ Contig) int { return i + src },
+		Contig.WireSize, mode)
+	s.SortLocal(r, ContigLess)
+	s.Renumber(r, func(i, id int) { s.Local(r)[i].ID = id })
+	return s
+}
+
+// RenumberContigs re-assigns dense global IDs after a set's shards changed
+// (filtering, compaction), storing the new ID into each contig. Collective.
+func RenumberContigs(r *pgas.Rank, s *ContigSet) int {
+	return s.Renumber(r, func(i, id int) { s.Local(r)[i].ID = id })
+}
+
+// EmitContigs materializes the final contig list on rank 0 (nil elsewhere):
+// shards are emitted in rank order, then sorted into the deterministic
+// global order (descending length, then sequence) and given dense IDs, so
+// the output is identical at any rank count. Collective.
+func EmitContigs(r *pgas.Rank, s *ContigSet) []Contig {
+	out := s.Emit(r)
+	if out == nil {
+		return nil
 	}
-	for i := range dedup {
-		dedup[i].ID = i
+	sort.Slice(out, func(i, j int) bool { return ContigLess(out[i], out[j]) })
+	for i := range out {
+		out[i].ID = i
 	}
-	r.Compute(float64(len(dedup)))
-	return dedup
+	r.Compute(float64(len(out)))
+	return out
 }
 
 // Stats summarizes a contig set.

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"mhmgo/internal/dist"
 	"mhmgo/internal/kmeranalysis"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
@@ -24,8 +25,8 @@ func buildFromReads(t *testing.T, reads []seq.Read, k, ranks int, topts Threshol
 		res := kmeranalysis.Run(r, reads[lo:hi], opts, nil)
 		g := Build(r, res.Counts, k, topts)
 		local := Traverse(r, g, TraverseOptions{})
-		all := GatherContigs(r, local)
-		if r.ID() == 0 {
+		cs := DistributeContigs(r, local, dist.Distributed)
+		if all := EmitContigs(r, cs); r.ID() == 0 {
 			contigs = all
 		}
 	})
@@ -170,8 +171,8 @@ func TestTraverseMinContigLen(t *testing.T) {
 		lo, hi := r.BlockRange(len(reads))
 		res := kmeranalysis.Run(r, reads[lo:hi], opts, nil)
 		g := Build(r, res.Counts, 11, DefaultThresholds())
-		a := GatherContigs(r, Traverse(r, g, TraverseOptions{}))
-		f := GatherContigs(r, Traverse(r, g, TraverseOptions{MinContigLen: 10000}))
+		a := EmitContigs(r, DistributeContigs(r, Traverse(r, g, TraverseOptions{}), dist.Distributed))
+		f := EmitContigs(r, DistributeContigs(r, Traverse(r, g, TraverseOptions{MinContigLen: 10000}), dist.Distributed))
 		if r.ID() == 0 {
 			all, filtered = a, f
 		}
@@ -218,17 +219,26 @@ func TestCanonicalSeq(t *testing.T) {
 	}
 }
 
-func TestGatherContigsDeduplicatesAndAssignsIDs(t *testing.T) {
+func TestDistributeContigsDeduplicatesAndAssignsIDs(t *testing.T) {
 	m := pgas.NewMachine(pgas.Config{Ranks: 3})
 	var got []Contig
+	var ids []int
 	m.Run(func(r *pgas.Rank) {
 		var local []Contig
 		// Every rank emits the same palindrome-ish duplicate plus a unique contig.
 		local = append(local, Contig{Seq: []byte("AACCGGTT")})
 		local = append(local, Contig{Seq: []byte(strings.Repeat("ACGT", r.ID()+3))})
-		all := GatherContigs(r, local)
+		cs := DistributeContigs(r, local, dist.Distributed)
+		// Shard IDs must be dense, in rank order, and unique across ranks.
+		var localIDs []int
+		cs.ForEachLocal(r, func(i int, c Contig) { localIDs = append(localIDs, c.ID) })
+		gathered := pgas.GatherV(r, localIDs, 8)
+		all := EmitContigs(r, cs)
 		if r.ID() == 0 {
 			got = all
+			for _, batch := range gathered {
+				ids = append(ids, batch...)
+			}
 		}
 	})
 	if len(got) != 4 {
@@ -240,6 +250,16 @@ func TestGatherContigsDeduplicatesAndAssignsIDs(t *testing.T) {
 		}
 		if i > 0 && len(got[i-1].Seq) < len(c.Seq) {
 			t.Error("contigs not sorted by descending length")
+		}
+	}
+	// The ExScan renumbering hands out exactly 0..3, in rank order.
+	if len(ids) != 4 {
+		t.Fatalf("shards hold %d contigs, want 4", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Errorf("shard IDs not dense in rank order: %v", ids)
+			break
 		}
 	}
 }

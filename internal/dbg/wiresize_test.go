@@ -1,0 +1,16 @@
+package dbg
+
+import (
+	"testing"
+
+	"mhmgo/internal/pgas"
+)
+
+// TestWireSizes pins the contig wire size against the reflective lower
+// bound used by the routing and gather cost accounting.
+func TestWireSizes(t *testing.T) {
+	c := Contig{ID: 12, Seq: []byte("ACGTTGCAAGCTTACG"), Depth: 18.5}
+	if got, min := c.WireSize(), pgas.WireSizeOf(c); got < min {
+		t.Errorf("Contig.WireSize() = %d < encoded size %d", got, min)
+	}
+}

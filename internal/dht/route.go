@@ -12,6 +12,12 @@ import "mhmgo/internal/pgas"
 // SetLocal, which go straight to the owning partition's stripes without any
 // remote charging.
 func Route[T any](r *pgas.Rank, items []T, ownerOf func(T) int, bytesPerItem int) []T {
+	return RouteFunc(r, items, ownerOf, func(T) int { return bytesPerItem })
+}
+
+// RouteFunc is Route for items whose wire sizes vary (reads, contigs):
+// sizeOf reports the wire bytes of one item.
+func RouteFunc[T any](r *pgas.Rank, items []T, ownerOf func(T) int, sizeOf func(T) int) []T {
 	p := r.NRanks()
 	out := make([][]T, p)
 	for _, item := range items {
@@ -22,7 +28,7 @@ func Route[T any](r *pgas.Rank, items []T, ownerOf func(T) int, bytesPerItem int
 		out[dest] = append(out[dest], item)
 	}
 	r.Compute(float64(len(items)))
-	incoming := pgas.AllToAll(r, out, bytesPerItem)
+	incoming := pgas.AllToAllV(r, out, sizeOf)
 	var merged []T
 	for _, batch := range incoming {
 		merged = append(merged, batch...)

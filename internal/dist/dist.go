@@ -1,0 +1,457 @@
+// Package dist implements distributed ownership of record collections — the
+// counterpart of dht.Map for sequence-shaped data (contigs, alignments,
+// extensions, scaffolds).
+//
+// A Set[T] partitions its items over the ranks of a virtual PGAS machine by
+// an owner function. Items are shipped to their owners with one aggregated
+// all-to-all exchange (the paper's §II-A use case 4, "Local Reads & Writes"),
+// after which each rank holds and processes only its own shard: per-rank
+// memory is O(N/P) instead of the O(N) a gather-to-all materializes on every
+// rank. Dense global IDs are assigned without any gather via an exclusive
+// prefix scan (pgas.ExScan) over the shard sizes, owner-side lookups by
+// global ID are charged as one-sided gets (with an optional per-rank software
+// cache in front), and final output is emitted rank by rank onto rank 0 only.
+//
+// Every Set also runs in Replicated mode: the same items land in the same
+// shards with the same IDs — results are bit-identical by construction — but
+// construction is charged (and its memory accounted) as the gather-to-all it
+// replaces, and remote lookups become free local reads. Replicated mode is
+// the baseline of the distributed-ownership ablation: the measured gap in
+// CommStats.PeakResidentBytes between the two modes is the memory the
+// refactor saves.
+package dist
+
+import (
+	"sort"
+
+	"mhmgo/internal/pgas"
+)
+
+// Mode selects how a Set moves and accounts its data.
+type Mode int
+
+const (
+	// Distributed ships every item to its owner rank; each rank materializes
+	// only its shard. Remote lookups are charged as one-sided gets.
+	Distributed Mode = iota
+	// Replicated materializes every rank's items on every rank, charged as
+	// the gather-to-all tree collective the distributed layout replaces.
+	// Shards and IDs are identical to Distributed mode, so the two modes
+	// produce bit-identical results and differ only in cost and footprint.
+	Replicated
+)
+
+// Set is a collection of items partitioned over the ranks by an owner
+// function. A Set is created collectively and shared by all ranks; each rank
+// mutates only its own shard, and cross-shard reads go through GetByID /
+// Reader (or Emit), which charge the cost model. The zero value is not
+// usable; construct with New.
+type Set[T any] struct {
+	mode Mode
+	wire func(T) int
+
+	shards [][]T
+	// base[p] is the global ID of rank p's first item (len NRanks+1), filled
+	// by Renumber; IDs are dense and contiguous per rank.
+	base []int
+}
+
+// New creates a Set collectively: every rank contributes its local items,
+// each item is routed to the rank ownerOf chooses (reduced modulo the rank
+// count), and the calling rank's handle of the shared Set is returned. wire
+// reports the wire bytes of one item for cost accounting.
+//
+// In Distributed mode the routing is one aggregated all-to-all exchange and
+// each rank's resident-bytes meter is charged only for its shard; in
+// Replicated mode construction is charged as a gather-to-all (every rank is
+// charged the full payload) while the shard layout stays identical.
+func New[T any](r *pgas.Rank, local []T, ownerOf func(T) int, wire func(T) int, mode Mode) *Set[T] {
+	return NewIndexed(r, local, func(_, _ int, item T) int { return ownerOf(item) }, wire, mode)
+}
+
+// NewIndexed creates a Set collectively like New, but the destination of an
+// item is chosen by (source rank, local index, item) instead of item content
+// alone. This supports placement rules that depend on an item's position in
+// its source rank's (deterministically ordered) slice — e.g. striping a
+// size-sorted shard round-robin over the ranks for byte balance. destOf must
+// be a pure function of its arguments so Replicated mode reproduces the same
+// shards from the gathered batches (which preserve per-source order).
+func NewIndexed[T any](r *pgas.Rank, local []T, destOf func(src, i int, item T) int, wire func(T) int, mode Mode) *Set[T] {
+	p := r.NRanks()
+	var s *Set[T]
+	if r.ID() == 0 {
+		s = &Set[T]{mode: mode, wire: wire, shards: make([][]T, p)}
+	}
+	s = pgas.Broadcast(r, s)
+
+	var shard []T
+	switch mode {
+	case Replicated:
+		// The gather-to-all baseline: every rank materializes every item
+		// (gatherV charges the tree schedule and the full resident
+		// payload), then keeps the same owned subset a real exchange would
+		// deliver.
+		all := pgas.GatherVFunc(r, local, wire)
+		for src, batch := range all {
+			for i, item := range batch {
+				d := destOf(src, i, item) % p
+				if d < 0 {
+					d += p
+				}
+				if d == r.ID() {
+					shard = append(shard, item)
+				}
+			}
+			r.Compute(float64(len(batch)))
+		}
+	default:
+		outgoing := make([][]T, p)
+		for i, item := range local {
+			d := destOf(r.ID(), i, item) % p
+			if d < 0 {
+				d += p
+			}
+			outgoing[d] = append(outgoing[d], item)
+		}
+		r.Compute(float64(len(local)))
+		incoming := pgas.AllToAllV(r, outgoing, wire)
+		for _, batch := range incoming {
+			shard = append(shard, batch...)
+		}
+	}
+	s.shards[r.ID()] = shard
+	r.Barrier()
+	return s
+}
+
+// Mode returns the Set's data-movement mode.
+func (s *Set[T]) Mode() Mode { return s.mode }
+
+// WireSize returns the wire bytes of one item under the Set's size function.
+func (s *Set[T]) WireSize(item T) int { return s.wire(item) }
+
+// Local returns the calling rank's shard. The owner may mutate items in
+// place between barriers; use SetLocal to keep the resident accounting
+// exact when an item's wire size changes.
+func (s *Set[T]) Local(r *pgas.Rank) []T { return s.shards[r.ID()] }
+
+// Len returns the size of the calling rank's shard.
+func (s *Set[T]) Len(r *pgas.Rank) int { return len(s.shards[r.ID()]) }
+
+// GlobalLen returns the total number of items across all shards (an
+// all-reduce).
+func (s *Set[T]) GlobalLen(r *pgas.Rank) int {
+	return pgas.AllReduce(r, len(s.shards[r.ID()]), pgas.ReduceSum)
+}
+
+// ForEachLocal calls fn for every item of the calling rank's shard, in shard
+// order, with the item's local index.
+func (s *Set[T]) ForEachLocal(r *pgas.Rank, fn func(i int, item T)) {
+	for i, item := range s.shards[r.ID()] {
+		fn(i, item)
+	}
+}
+
+// SetLocal replaces item i of the calling rank's shard, adjusting the
+// resident accounting by the wire-size difference. The adjustment is
+// owner-local even in Replicated mode (per-item collectives would be
+// absurd); replicated-mode growth is instead captured by the gather-charged
+// exchanges that deliver the mutations.
+func (s *Set[T]) SetLocal(r *pgas.Rank, i int, item T) {
+	shard := s.shards[r.ID()]
+	old, nw := s.wire(shard[i]), s.wire(item)
+	if nw > old {
+		r.ChargeResident(nw - old)
+	} else {
+		r.ReleaseResident(old - nw)
+	}
+	shard[i] = item
+}
+
+// SortLocal sorts the calling rank's shard with the given deterministic
+// strict ordering.
+func (s *Set[T]) SortLocal(r *pgas.Rank, less func(a, b T) bool) {
+	shard := s.shards[r.ID()]
+	sort.Slice(shard, func(i, j int) bool { return less(shard[i], shard[j]) })
+	n := float64(len(shard))
+	if n > 1 {
+		r.Compute(n)
+	}
+}
+
+// releaseDropped returns dropped shard bytes to the resident meter. In
+// Replicated mode every rank materialized a replica of every item, so the
+// release must cover the drops of ALL ranks (one scalar all-reduce);
+// otherwise each rank would permanently leak the bytes other ranks dropped
+// and the gather-to-all baseline's peak would be overstated.
+func (s *Set[T]) releaseDropped(r *pgas.Rank, droppedBytes int) {
+	if s.mode == Replicated {
+		droppedBytes = pgas.AllReduce(r, droppedBytes, pgas.ReduceSum)
+	}
+	r.ReleaseResident(droppedBytes)
+}
+
+// DedupLocal removes adjacent items for which equal reports true (sort
+// first), releasing the dropped items' resident bytes, and returns how many
+// items were removed. Items routed by a content hash collide on the same
+// owner, so owner-local adjacent dedup is global dedup. Collective.
+func (s *Set[T]) DedupLocal(r *pgas.Rank, equal func(a, b T) bool) int {
+	shard := s.shards[r.ID()]
+	dropped, droppedBytes := 0, 0
+	if len(shard) > 0 {
+		out := shard[:1]
+		for _, item := range shard[1:] {
+			if equal(out[len(out)-1], item) {
+				droppedBytes += s.wire(item)
+				dropped++
+				continue
+			}
+			out = append(out, item)
+		}
+		s.shards[r.ID()] = out
+		r.Compute(float64(len(shard)))
+	}
+	s.releaseDropped(r, droppedBytes)
+	return dropped
+}
+
+// FilterLocal keeps only the items of the calling rank's shard for which
+// keep reports true, releasing the dropped items' resident bytes, and
+// returns how many items were dropped. Collective.
+func (s *Set[T]) FilterLocal(r *pgas.Rank, keep func(item T) bool) int {
+	shard := s.shards[r.ID()]
+	out := shard[:0]
+	dropped, droppedBytes := 0, 0
+	for _, item := range shard {
+		if keep(item) {
+			out = append(out, item)
+		} else {
+			droppedBytes += s.wire(item)
+			dropped++
+		}
+	}
+	s.shards[r.ID()] = out
+	r.Compute(float64(len(shard)))
+	s.releaseDropped(r, droppedBytes)
+	return dropped
+}
+
+// Renumber assigns dense global IDs without gathering: an exclusive prefix
+// scan of the shard sizes gives every rank its base offset, so rank p's items
+// get IDs [base, base+len(shard)). assign is called for every local item with
+// its local index and new global ID (typically storing the ID into the item).
+// The per-rank bases are also published so RankOfID / GetByID can locate any
+// ID. Returns the global item count. Collective.
+func (s *Set[T]) Renumber(r *pgas.Rank, assign func(i int, globalID int)) int {
+	n := len(s.shards[r.ID()])
+	base := pgas.ExScan(r, n, pgas.ReduceSum)
+	// The ID->owner map needs every rank's base: one scalar gather of the
+	// scan ends (P words through the tree schedule, not the payload) —
+	// ends[p] is rank p+1's base, and ends[P-1] is the global total.
+	ends := pgas.Gather(r, base+n)
+	if r.ID() == 0 {
+		bases := make([]int, len(ends)+1)
+		copy(bases[1:], ends)
+		s.base = bases
+	}
+	r.Barrier()
+	for i := 0; i < n; i++ {
+		assign(i, base+i)
+	}
+	r.Compute(float64(n))
+	r.Barrier()
+	return s.base[len(ends)]
+}
+
+// RankOfID returns the rank owning the given global ID. Requires Renumber.
+func (s *Set[T]) RankOfID(id int) int {
+	// base is sorted; find the first rank whose shard ends beyond id.
+	hi := len(s.base) - 1
+	if hi < 0 {
+		panic("dist: RankOfID before Renumber")
+	}
+	return sort.Search(hi, func(p int) bool { return s.base[p+1] > id })
+}
+
+// Locate returns the rank owning the given global ID and the item's index
+// within that rank's shard. Requires Renumber.
+func (s *Set[T]) Locate(id int) (rank, idx int) {
+	rank = s.RankOfID(id)
+	return rank, id - s.base[rank]
+}
+
+// GetByID fetches the item with the given global ID. A local (or Replicated)
+// read costs one compute op; a remote read in Distributed mode is charged as
+// a one-sided get of the item's wire size. Requires Renumber.
+func (s *Set[T]) GetByID(r *pgas.Rank, id int) T {
+	owner := s.RankOfID(id)
+	item := s.shards[owner][id-s.base[owner]]
+	if owner == r.ID() || s.mode == Replicated {
+		r.Compute(1)
+		return item
+	}
+	r.ChargeGet(owner, s.wire(item), 1)
+	return item
+}
+
+// Reader is a per-rank software cache in front of GetByID, for read-only
+// phases where the same remote items are fetched repeatedly (the paper's
+// §II-A use case 3 applied to record collections).
+type Reader[T any] struct {
+	s       *Set[T]
+	r       *pgas.Rank
+	entries int
+	cache   map[int]T
+}
+
+// NewReader creates a Reader with capacity for the given number of cached
+// items (0 disables caching).
+func (s *Set[T]) NewReader(r *pgas.Rank, entries int) *Reader[T] {
+	rd := &Reader[T]{s: s, r: r, entries: entries}
+	if entries > 0 {
+		rd.cache = make(map[int]T)
+	}
+	return rd
+}
+
+// Get fetches the item with the given global ID through the cache. Local and
+// Replicated reads bypass the cache (they are already free of communication).
+func (rd *Reader[T]) Get(id int) T {
+	s, r := rd.s, rd.r
+	owner := s.RankOfID(id)
+	item := s.shards[owner][id-s.base[owner]]
+	if owner == r.ID() || s.mode == Replicated {
+		r.Compute(1)
+		return item
+	}
+	if rd.cache != nil {
+		if hit, ok := rd.cache[id]; ok {
+			r.ChargeCacheHit()
+			return hit
+		}
+	}
+	r.ChargeCacheMiss(owner, s.wire(item))
+	if rd.cache != nil && len(rd.cache) < rd.entries {
+		rd.cache[id] = item
+	}
+	return item
+}
+
+// Emit delivers the full, rank-by-rank-ordered item list to rank 0 (the
+// rank that writes final output) and returns nil on every other rank. In
+// Distributed mode each rank is charged one aggregated send of its shard to
+// rank 0, which consumes the shards one at a time — the modeled writer
+// streams each arriving shard to the output file and drops it, so no rank
+// ever holds the full payload and nothing is charged against the resident
+// meter. (The returned in-memory slice is a convenience of the single-
+// process harness, standing in for the output file.) Collective.
+func (s *Set[T]) Emit(r *pgas.Rank) []T {
+	r.Barrier()
+	if s.mode == Distributed && r.ID() != 0 {
+		if bytes := s.shardBytes(r.ID()); bytes > 0 {
+			r.ChargeSend(0, bytes, 1)
+		}
+	}
+	var out []T
+	if r.ID() == 0 {
+		n := 0
+		for _, shard := range s.shards {
+			n += len(shard)
+		}
+		if s.mode == Distributed {
+			// The senders paid the wire time; the writer accounts the
+			// delivered bytes so sent and received totals stay balanced.
+			received := 0
+			for p := 1; p < len(s.shards); p++ {
+				received += s.shardBytes(p)
+			}
+			r.AccountReceived(received)
+		}
+		out = make([]T, 0, n)
+		for _, shard := range s.shards {
+			out = append(out, shard...)
+		}
+		r.Compute(float64(n))
+	}
+	r.Barrier()
+	return out
+}
+
+// Release returns the Set's resident bytes to the meter: the local shard in
+// Distributed mode, the full payload in Replicated mode (where every rank
+// materialized everything). Call it when the Set is replaced or consumed.
+// Collective.
+func (s *Set[T]) Release(r *pgas.Rank) {
+	r.Barrier()
+	if s.mode == Replicated {
+		total := 0
+		for p := range s.shards {
+			total += s.shardBytes(p)
+		}
+		r.ReleaseResident(total)
+	} else {
+		r.ReleaseResident(s.shardBytes(r.ID()))
+	}
+	r.Barrier()
+}
+
+func (s *Set[T]) shardBytes(p int) int {
+	total := 0
+	for _, item := range s.shards[p] {
+		total += s.wire(item)
+	}
+	return total
+}
+
+// Exchange routes items to their owner ranks and returns the items the
+// calling rank owns, without building a Set — the one-shot form used for
+// transient record streams (removal proposals, extension results, link
+// copies). In Distributed mode it is one aggregated all-to-all charged by
+// actual payload; in Replicated mode it is charged as the gather-to-all the
+// legacy pipeline performed (every rank momentarily materializes every item,
+// which is exactly what the peak-resident meter should see), after which the
+// non-owned items are dropped again. The transient payload's resident charge
+// is released before returning; only the returned slice remains with the
+// caller.
+func Exchange[T any](r *pgas.Rank, items []T, ownerOf func(T) int, wire func(T) int, mode Mode) []T {
+	p := r.NRanks()
+	var merged []T
+	if mode == Replicated {
+		all := pgas.GatherVFunc(r, items, wire)
+		total := 0
+		for _, batch := range all {
+			for _, item := range batch {
+				total += wire(item)
+				d := ownerOf(item) % p
+				if d < 0 {
+					d += p
+				}
+				if d == r.ID() {
+					merged = append(merged, item)
+				}
+			}
+			r.Compute(float64(len(batch)))
+		}
+		r.ReleaseResident(total)
+		return merged
+	}
+	outgoing := make([][]T, p)
+	for _, item := range items {
+		d := ownerOf(item) % p
+		if d < 0 {
+			d += p
+		}
+		outgoing[d] = append(outgoing[d], item)
+	}
+	r.Compute(float64(len(items)))
+	incoming := pgas.AllToAllV(r, outgoing, wire)
+	received := 0
+	for _, batch := range incoming {
+		for _, item := range batch {
+			received += wire(item)
+		}
+		merged = append(merged, batch...)
+	}
+	r.ReleaseResident(received)
+	return merged
+}

@@ -20,6 +20,7 @@ import (
 	"mhmgo/internal/baseline"
 	"mhmgo/internal/core"
 	"mhmgo/internal/dbg"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/eval"
 	"mhmgo/internal/hmm"
 	"mhmgo/internal/pgas"
@@ -579,7 +580,9 @@ func mapBackFraction(reads []seq.Read, res *core.Result, s Scale) float64 {
 	var aligned int64
 	m.Run(func(r *pgas.Rank) {
 		opts := aligner.DefaultOptions(21)
-		idx := aligner.BuildIndex(r, contigs, opts)
+		clo, chi := r.BlockRange(len(contigs))
+		cs := dbg.DistributeContigs(r, contigs[clo:chi], dist.Distributed)
+		idx := aligner.BuildIndex(r, cs, opts)
 		lo, hi := r.PairBlockRange(len(reads))
 		got, _ := aligner.AlignReads(r, idx, reads[lo:hi], lo, opts)
 		total := pgas.AllReduce(r, int64(len(got)), pgas.ReduceSum)

@@ -171,6 +171,9 @@ func (d *Distributed[K]) AddAll(r *pgas.Rank, keys []K, weights []int64) {
 		}
 	}
 	r.Compute(float64(n))
+	// The exchanged pairs are folded into the count table; return the
+	// transient payload's resident charge to the meter.
+	r.ReleaseResident(n * 24)
 }
 
 // LocalCounts returns the count table owned by the calling rank.

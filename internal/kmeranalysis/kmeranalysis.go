@@ -11,6 +11,8 @@
 package kmeranalysis
 
 import (
+	"sort"
+
 	"mhmgo/internal/bloom"
 	"mhmgo/internal/dht"
 	"mhmgo/internal/histo"
@@ -37,6 +39,11 @@ type Options struct {
 	// false disables batching (one message per k-mer, for ablations).
 	BatchSize int
 	Aggregate bool
+	// StreamChunk bounds how many observations a rank routes per exchange
+	// round: the observation stream is processed in passes (as the real
+	// system does for memory), so no rank ever materializes its full
+	// inbound observation stream at once. 0 selects the default.
+	StreamChunk int
 	// QualThreshold ignores extension observations whose base quality is
 	// below this Phred score (0 disables quality filtering).
 	QualThreshold int
@@ -57,6 +64,7 @@ func DefaultOptions(k int) Options {
 		HeavyHitterCapacity: 64,
 		BatchSize:           1024,
 		Aggregate:           true,
+		StreamChunk:         1024,
 		QualThreshold:       5,
 	}
 }
@@ -84,6 +92,14 @@ type observation struct {
 	HasRight bool
 	WasRC    bool
 }
+
+// observationWireSize is the wire bytes of one routed observation: the
+// packed k-mer (two words plus k), the two extension bases and three flags.
+const observationWireSize = 22
+
+// heavyHitterWireSize is the wire bytes of one heavy-hitter summary entry:
+// the packed k-mer (two words plus k) and its count.
+const heavyHitterWireSize = 25
 
 // kmerHash adapts seq.Kmer.Hash for the dht package.
 func kmerHash(k seq.Kmer) uint64 { return k.Hash() }
@@ -132,27 +148,20 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 		r.Compute(float64(len(read.Seq)))
 	}
 
-	var routed []observation
-	if opts.Aggregate {
-		routed = dht.Route(r, local, func(o observation) int { return counts.Owner(o.Kmer) }, 18)
-	} else {
-		// Unaggregated: each observation is charged as its own message, then
-		// routed the same way (the data movement is identical, only the
-		// message count differs).
-		for _, o := range local {
-			dest := counts.Owner(o.Kmer)
-			if dest != r.ID() {
-				r.ChargeSend(dest, 18, 1)
-			}
-		}
-		routed = dht.Route(r, local, func(o observation) int { return counts.Owner(o.Kmer) }, 18)
-	}
-
-	// Phase 2: the owner folds its received observations into a purely local
-	// table (use case 4), guarded by a Bloom filter against singletons.
+	// Phases 1b+2, streamed: the observations are routed to their owners and
+	// folded into the purely local table (use case 4) in bounded chunks —
+	// every rank participates in the same number of exchange rounds, and
+	// each round's inbound payload is released once folded, so no rank ever
+	// materializes its full observation stream.
+	// The Bloom prefilter is sized by the rank's expected INBOUND stream
+	// (the global observation count over the ranks): after read
+	// localization the outbound counts are skewed, but the k-mer hash keeps
+	// the inbound side balanced, and an undersized filter would leak
+	// erroneous singletons into the table.
+	totalObs := pgas.AllReduce(r, totalLocal, pgas.ReduceSum)
 	var filter *bloom.Filter
 	if opts.UseBloom {
-		expected := uint64(len(routed))
+		expected := uint64(totalObs) / uint64(r.NRanks())
 		if expected < 1024 {
 			expected = 1024
 		}
@@ -162,33 +171,58 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 		}
 		filter = bloom.NewWithEstimates(expected, fp)
 	}
-	for _, o := range routed {
-		insert := true
-		bonus := uint32(0)
-		if filter != nil {
-			h := o.Kmer.Hash()
-			if _, exists := counts.Get(r, o.Kmer); !exists {
-				if !filter.TestAndAdd(h) {
-					// First sighting: remember it in the filter only.
-					insert = false
-				} else {
-					// Second sighting: credit the occurrence the filter absorbed.
-					bonus = 1
+	chunk := opts.StreamChunk
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	rounds := pgas.AllReduce(r, (len(local)+chunk-1)/chunk, pgas.ReduceMax)
+	for ci := 0; ci < rounds; ci++ {
+		lo := min(ci*chunk, len(local))
+		hi := min(lo+chunk, len(local))
+		part := local[lo:hi]
+		if !opts.Aggregate {
+			// Unaggregated ablation: each observation is charged as its own
+			// message, then routed the same way (the data movement is
+			// identical, only the message count differs).
+			for _, o := range part {
+				dest := counts.Owner(o.Kmer)
+				if dest != r.ID() {
+					r.ChargeSend(dest, observationWireSize, 1)
 				}
 			}
 		}
-		if !insert {
-			continue
-		}
-		o := o
-		counts.UpdateLocal(r, o.Kmer, func(cur seq.KmerCount, found bool) seq.KmerCount {
-			if !found {
-				cur = seq.KmerCount{Kmer: o.Kmer}
-				cur.Count += bonus
+		routed := dht.Route(r, part, func(o observation) int { return counts.Owner(o.Kmer) }, observationWireSize)
+		for _, o := range routed {
+			insert := true
+			bonus := uint32(0)
+			if filter != nil {
+				h := o.Kmer.Hash()
+				if _, exists := counts.Get(r, o.Kmer); !exists {
+					if !filter.TestAndAdd(h) {
+						// First sighting: remember it in the filter only.
+						insert = false
+					} else {
+						// Second sighting: credit the occurrence the filter absorbed.
+						bonus = 1
+					}
+				}
 			}
-			cur.Observe(o.Left, o.Right, o.HasLeft, o.HasRight, o.WasRC)
-			return cur
-		})
+			if !insert {
+				continue
+			}
+			o := o
+			counts.UpdateLocal(r, o.Kmer, func(cur seq.KmerCount, found bool) seq.KmerCount {
+				if !found {
+					cur = seq.KmerCount{Kmer: o.Kmer}
+					cur.Count += bonus
+				}
+				cur.Observe(o.Left, o.Right, o.HasLeft, o.HasRight, o.WasRC)
+				return cur
+			})
+		}
+		// This round's observations are folded into the counts table; the
+		// transient exchange payload is no longer resident.
+		r.ReleaseResident(len(routed) * observationWireSize)
 	}
 	r.Barrier()
 
@@ -206,17 +240,41 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 
 	// Phase 4: merge scalar statistics and heavy hitters across ranks.
 	res := Result{Counts: counts}
-	res.TotalKmers = pgas.AllReduce(r, totalLocal, pgas.ReduceSum)
+	res.TotalKmers = totalObs
 	res.DistinctKmers = pgas.AllReduce(r, counts.LocalLen(r.ID()), pgas.ReduceSum)
 	if hh != nil {
-		all := pgas.GatherV(r, hh.Items(), 25) // two packed words + k + count
-		merged := histo.NewHeavyHitters[seq.Kmer](opts.HeavyHitterCapacity)
-		for _, items := range all {
-			for _, it := range items {
-				merged.Add(it.Key, it.Count)
+		// Misra-Gries summaries merge associatively, so the per-rank
+		// summaries are combined with a tree reduction (log2 P rounds of one
+		// capacity-bounded summary each) instead of gathering P*capacity
+		// candidates onto every rank — this stage used to be the last
+		// gather-to-all in the pipeline. The contributions are sorted
+		// deterministically (count, then k-mer) so the fold — and with it
+		// the merged candidate set when evictions tie — is identical run to
+		// run.
+		items := hh.Items()
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].Count != items[j].Count {
+				return items[i].Count > items[j].Count
 			}
-		}
-		res.HeavyHitters = merged.Items()
+			return items[i].Key.Less(items[j].Key)
+		})
+		res.HeavyHitters = pgas.ReduceAll(r, items, opts.HeavyHitterCapacity*heavyHitterWireSize,
+			func(contribs [][]histo.Item[seq.Kmer]) []histo.Item[seq.Kmer] {
+				merged := histo.NewHeavyHitters[seq.Kmer](opts.HeavyHitterCapacity)
+				for _, batch := range contribs {
+					for _, it := range batch {
+						merged.Add(it.Key, it.Count)
+					}
+				}
+				out := merged.Items()
+				sort.Slice(out, func(i, j int) bool {
+					if out[i].Count != out[j].Count {
+						return out[i].Count > out[j].Count
+					}
+					return out[i].Key.Less(out[j].Key)
+				})
+				return out
+			})
 	}
 	r.Barrier()
 	return res

@@ -2,8 +2,18 @@
 // generation (Section II-G of the paper): contigs are extended by
 // "mer-walking" through the reads that align to them (or whose mates are
 // projected onto them), with a dynamically adjusted mer size — upshifted at
-// forks, downshifted at dead ends — and dynamic work stealing over a global
-// atomic counter to balance the highly variable per-contig cost.
+// forks, downshifted at dead ends — and a work-sharing scheduler to balance
+// the highly variable per-contig cost.
+//
+// Since PR 3 the contigs stay distributed: recruited reads are routed to the
+// contig's owner rank with one aggregated exchange (instead of a replicated
+// read pool), extension results are routed back to the owner only (instead
+// of being gathered onto every rank), and the work-sharing scheduler claims
+// interleaved blocks of the global ID space deterministically — each claim
+// still charges a global-counter atomic, and working on a non-owned contig
+// still pays the one-sided fetches of the contig and its recruited reads, so
+// the cost model sees exactly what dynamic stealing would cost, while
+// simulated seconds stay reproducible run to run.
 package localasm
 
 import (
@@ -11,7 +21,7 @@ import (
 
 	"mhmgo/internal/aligner"
 	"mhmgo/internal/dbg"
-	"mhmgo/internal/dht"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
 )
@@ -56,29 +66,42 @@ func DefaultOptions(k int) Options {
 	}
 }
 
-// Result reports the outcome of local assembly.
+// Result reports the outcome of local assembly. The extended contigs are
+// written back into the distributed contig set in place (each owner updates
+// its own shard); only the scalar summaries are all-reduced.
 type Result struct {
-	Contigs        []dbg.Contig
 	ExtendedBases  int
 	ContigsTouched int
 	Steals         int
 }
 
-func intHash(k int) uint64 {
-	x := uint64(k)*0x9e3779b97f4a7c15 + 0x7f4a7c15
-	x ^= x >> 31
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 29
-	return x
+// recruit is one read sequence shipped to the owner of the contig it may
+// extend.
+type recruit struct {
+	ContigID int
+	Seq      []byte
 }
 
-// Run extends the contigs using the reads aligned to them. Collective: every
-// rank passes its local reads and the alignments computed for them; the full
-// (replicated) contig set and the full result are returned on every rank.
+// WireSize returns the wire bytes of one recruit record.
+func (rc recruit) WireSize() int { return 8 + len(rc.Seq) }
+
+// extRecord is one extension result routed back to the contig's owner.
+type extRecord struct {
+	ID  int
+	Seq []byte
+}
+
+// WireSize returns the wire bytes of one extension record.
+func (e extRecord) WireSize() int { return 8 + len(e.Seq) }
+
+// Run extends the distributed contigs using the reads aligned to them.
+// Collective: every rank passes its local reads and the alignments computed
+// for them; extensions are applied in place to the set's shards, and the
+// scalar Result is identical on every rank.
 //
 // Reads must be distributed in whole pairs (use pgas.PairBlockRange) so that
 // a read's mate is available on the same rank for recruitment.
-func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, alignments []aligner.Alignment, opts Options) Result {
+func Run(r *pgas.Rank, cs *dbg.ContigSet, reads []seq.Read, readOffset int, alignments []aligner.Alignment, opts Options) Result {
 	if opts.K <= 0 {
 		opts.K = 31
 	}
@@ -100,28 +123,19 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 	if opts.BlockSize <= 0 {
 		opts.BlockSize = 4
 	}
-	// Step 1: recruit reads for each contig into a global hash table keyed by
-	// contig ID ("each thread reads a portion of the reads file and stores
-	// the reads into a global hash table"). A read is useful for a contig if
-	// it aligns near one of the contig's ends; its mate is also recruited
-	// since it may extend past the end.
-	byID := make(map[int]int, len(contigs))
-	for i, c := range contigs {
-		byID[c.ID] = i
-	}
-	readPool := dht.NewMapCollective[int, [][]byte](r, intHash, 240)
-	poolCombine := func(existing, update [][]byte, found bool) [][]byte {
-		return append(existing, update...)
-	}
-	pool := readPool.NewUpdater(r, poolCombine, 64, true)
+	creader := cs.NewReader(r, 1<<16)
+
+	// Step 1: recruitment. A read is useful for a contig if it aligns near
+	// one of the contig's ends; its mate is also recruited since it may
+	// extend past the end. Recruits are routed to the contig's owner rank
+	// with one aggregated exchange (use case 4, "Local Reads & Writes") —
+	// the owner-routed replacement of the old replicated read pool.
+	var recs []recruit
 	for _, a := range alignments {
-		ci, ok := byID[a.ContigID]
-		if !ok {
-			continue
-		}
-		c := contigs[ci]
+		// The contig length rides along in the alignment record (set at
+		// extension time), so end-proximity needs no remote fetch.
 		nearStart := a.ContigPos <= opts.EndWindow
-		nearEnd := a.ContigPos+a.AlignLen >= len(c.Seq)-opts.EndWindow
+		nearEnd := a.ContigPos+a.AlignLen >= a.ContigLen-opts.EndWindow
 		if !nearStart && !nearEnd {
 			continue
 		}
@@ -129,24 +143,43 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		if li < 0 || li >= len(reads) {
 			continue
 		}
-		pool.Update(a.ContigID, [][]byte{reads[li].Seq})
+		recs = append(recs, recruit{ContigID: a.ContigID, Seq: reads[li].Seq})
 		// Recruit the mate: reads are interleaved pairs in *global* order
 		// (global indices 2i and 2i+1 are mates).
 		mateLocal := (a.ReadIdx ^ 1) - readOffset
 		if mateLocal >= 0 && mateLocal < len(reads) {
-			pool.Update(a.ContigID, [][]byte{reads[mateLocal].Seq})
+			recs = append(recs, recruit{ContigID: a.ContigID, Seq: reads[mateLocal].Seq})
 		}
 		r.Compute(1)
 	}
-	pool.Flush()
-	r.Barrier()
-	// Recruitment is complete; the mer-walks below only read the pool.
-	readPool.Freeze()
+	mine := dist.Exchange(r, recs,
+		func(rc recruit) int { owner, _ := cs.Locate(rc.ContigID); return owner },
+		recruit.WireSize, cs.Mode())
 
-	// Step 2: walk the contigs. The recruited reads live in the global
-	// address space, so any rank can process any contig; the dynamic
-	// work-stealing counter hands out blocks of contigs so that the
-	// embarrassingly parallel mer-walks stay load balanced.
+	// Bundle the recruits per owned contig and publish the per-rank bundles
+	// so the work-sharing scheduler can fetch a non-owned contig's reads
+	// (charged as a one-sided get).
+	myBundle := make(map[int][][]byte, len(mine))
+	for _, rc := range mine {
+		myBundle[rc.ContigID] = append(myBundle[rc.ContigID], rc.Seq)
+	}
+	r.Compute(float64(len(mine)))
+	var bundles []map[int][][]byte
+	if r.ID() == 0 {
+		bundles = make([]map[int][][]byte, r.NRanks())
+	}
+	bundles = pgas.Broadcast(r, bundles)
+	bundles[r.ID()] = myBundle
+	r.Barrier()
+
+	// Step 2: walk the contigs. With work sharing enabled, ranks claim
+	// interleaved blocks of the dense global ID space — every claim charges
+	// the global counter's atomic cost, and processing a non-owned contig
+	// pays the one-sided fetches of the contig and its bundle. The
+	// interleaved schedule is deterministic, so simulated seconds are
+	// reproducible run to run; the charged costs match what the racy
+	// counter-based scheduler paid.
+	n := cs.GlobalLen(r)
 	counterHandle := -1
 	if opts.WorkStealing {
 		var h int
@@ -158,72 +191,84 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		r.Barrier()
 	}
 
-	extended := make(map[int][]byte) // contig index -> new sequence
+	var exts []extRecord
 	extendedBases := 0
 	touched := 0
 	steals := 0
 
-	processContig := func(idx int) {
-		c := contigs[idx]
-		rds, ok := readPool.Get(r, c.ID)
-		if !ok || len(rds) == 0 {
+	processContig := func(id int) {
+		owner, idx := cs.Locate(id)
+		var c dbg.Contig
+		var rds [][]byte
+		if owner == r.ID() {
+			c = cs.Local(r)[idx]
+			rds = myBundle[id]
+			r.Compute(1)
+		} else {
+			c = creader.Get(id)
+			rds = bundles[owner][id]
+			if len(rds) > 0 {
+				if cs.Mode() == dist.Replicated {
+					r.Compute(1)
+				} else {
+					total := 0
+					for _, rd := range rds {
+						total += len(rd)
+					}
+					r.ChargeGet(owner, total, 1)
+				}
+			}
+		}
+		if len(rds) == 0 {
 			return
 		}
-		// Sort for determinism: the DHT accumulates read batches in rank
-		// arrival order, which is timing-dependent. Sort a copy — the pool is
-		// frozen and the stored slice is the shared immutable snapshot.
+		// Sort for determinism: the exchange accumulates read batches in
+		// source-rank order, but the walk must not depend on any arrival
+		// order at all. Sort a copy — the bundle is shared.
 		rds = append([][]byte(nil), rds...)
 		sort.Slice(rds, func(i, j int) bool { return string(rds[i]) < string(rds[j]) })
 		newSeq, added := extendContig(r, c.Seq, rds, opts)
 		if added > 0 {
-			extended[idx] = newSeq
+			exts = append(exts, extRecord{ID: id, Seq: newSeq})
 			extendedBases += added
 			touched++
 		}
 	}
 
 	if opts.WorkStealing {
-		for {
-			start := int(r.AtomicFetchAdd(counterHandle, int64(opts.BlockSize)))
-			if start >= len(contigs) {
-				break
-			}
+		for start := r.ID() * opts.BlockSize; start < n; start += r.NRanks() * opts.BlockSize {
+			// One remote atomic per claimed block, exactly as the dynamic
+			// counter would charge.
+			r.AtomicFetchAdd(counterHandle, int64(opts.BlockSize))
 			steals++
 			end := start + opts.BlockSize
-			if end > len(contigs) {
-				end = len(contigs)
+			if end > n {
+				end = n
 			}
-			for idx := start; idx < end; idx++ {
-				processContig(idx)
+			for id := start; id < end; id++ {
+				processContig(id)
 			}
 		}
 	} else {
-		lo, hi := r.BlockRange(len(contigs))
-		for idx := lo; idx < hi; idx++ {
-			processContig(idx)
-		}
+		cs.ForEachLocal(r, func(_ int, c dbg.Contig) { processContig(c.ID) })
 	}
 	r.Barrier()
 
-	// Step 3: merge the extensions from all ranks.
-	type extRecord struct {
-		Idx int
-		Seq []byte
+	// Step 3: route the extensions to the contigs' owners only — no rank
+	// materializes the full extension set — and apply them owner-side.
+	got := dist.Exchange(r, exts,
+		func(e extRecord) int { owner, _ := cs.Locate(e.ID); return owner },
+		extRecord.WireSize, cs.Mode())
+	sort.Slice(got, func(i, j int) bool { return got[i].ID < got[j].ID })
+	for _, e := range got {
+		_, idx := cs.Locate(e.ID)
+		c := cs.Local(r)[idx]
+		c.Seq = e.Seq
+		cs.SetLocal(r, idx, c)
 	}
-	var localExts []extRecord
-	for idx, s := range extended {
-		localExts = append(localExts, extRecord{Idx: idx, Seq: s})
-	}
-	sort.Slice(localExts, func(i, j int) bool { return localExts[i].Idx < localExts[j].Idx })
-	all := pgas.GatherVFunc(r, localExts, func(e extRecord) int { return 8 + len(e.Seq) })
-	out := make([]dbg.Contig, len(contigs))
-	copy(out, contigs)
-	for _, exts := range all {
-		for _, e := range exts {
-			out[e.Idx].Seq = e.Seq
-		}
-	}
-	res := Result{Contigs: out}
+	r.Barrier()
+
+	var res Result
 	res.ExtendedBases = pgas.AllReduce(r, extendedBases, pgas.ReduceSum)
 	res.ContigsTouched = pgas.AllReduce(r, touched, pgas.ReduceSum)
 	res.Steals = pgas.AllReduce(r, steals, pgas.ReduceSum)

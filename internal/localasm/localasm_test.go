@@ -6,6 +6,7 @@ import (
 
 	"mhmgo/internal/aligner"
 	"mhmgo/internal/dbg"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
 )
@@ -29,18 +30,28 @@ func pairedReads(g string, readLen, frag, step int) []seq.Read {
 	return reads
 }
 
-func runLocalAssembly(t *testing.T, contigs []dbg.Contig, reads []seq.Read, ranks int, opts Options) Result {
+// asmOut is the scalar Result plus the extended contigs emitted to rank 0
+// (sorted by descending length, then sequence).
+type asmOut struct {
+	Result
+	Contigs []dbg.Contig
+}
+
+func runLocalAssembly(t *testing.T, contigs []dbg.Contig, reads []seq.Read, ranks int, opts Options) asmOut {
 	t.Helper()
 	m := pgas.NewMachine(pgas.Config{Ranks: ranks})
 	aopts := aligner.DefaultOptions(15)
-	var res Result
+	var res asmOut
 	m.Run(func(r *pgas.Rank) {
-		idx := aligner.BuildIndex(r, contigs, aopts)
-		lo, hi := r.PairBlockRange(len(reads))
-		aligns, _ := aligner.AlignReads(r, idx, reads[lo:hi], lo, aopts)
-		got := Run(r, contigs, reads[lo:hi], lo, aligns, opts)
+		lo, hi := r.BlockRange(len(contigs))
+		cs := dbg.DistributeContigs(r, contigs[lo:hi], dist.Distributed)
+		idx := aligner.BuildIndex(r, cs, aopts)
+		plo, phi := r.PairBlockRange(len(reads))
+		aligns, _ := aligner.AlignReads(r, idx, reads[plo:phi], plo, aopts)
+		got := Run(r, cs, reads[plo:phi], plo, aligns, opts)
+		all := dbg.EmitContigs(r, cs)
 		if r.ID() == 0 {
-			res = got
+			res = asmOut{Result: got, Contigs: all}
 		}
 	})
 	return res

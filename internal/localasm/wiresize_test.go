@@ -1,0 +1,20 @@
+package localasm
+
+import (
+	"testing"
+
+	"mhmgo/internal/pgas"
+)
+
+// TestWireSizes pins the recruitment and extension record wire sizes against
+// the reflective lower bound.
+func TestWireSizes(t *testing.T) {
+	rc := recruit{ContigID: 9, Seq: []byte("ACGTACGTACGT")}
+	if got, min := rc.WireSize(), pgas.WireSizeOf(rc); got < min {
+		t.Errorf("recruit.WireSize() = %d < encoded size %d", got, min)
+	}
+	e := extRecord{ID: 9, Seq: []byte("ACGTACGTACGTTTTT")}
+	if got, min := e.WireSize(), pgas.WireSizeOf(e); got < min {
+		t.Errorf("extRecord.WireSize() = %d < encoded size %d", got, min)
+	}
+}

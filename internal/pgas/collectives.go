@@ -232,6 +232,32 @@ func AllReduce[T Number](r *Rank, x T, op ReduceOp) T {
 	return acc
 }
 
+// ExScan combines the values of all ranks with a lower ID than the caller
+// (an exclusive prefix scan, MPI_Exscan): rank i returns
+// op(x_0, ..., x_{i-1}), and rank 0 returns T's zero value. It is the
+// collective behind gather-free dense renumbering — an ExScan of per-rank
+// counts is every rank's global offset — and is charged exactly like
+// AllReduce: the recursive-doubling tree schedule, ceil(log2 P) rounds of one
+// scalar each, not an O(P) gather.
+func ExScan[T Number](r *Rank, x T, op ReduceOp) T {
+	m := r.machine
+	m.gatherBuf[r.id] = collSlot{payload: x, bytes: scalarBytes}
+	r.Barrier()
+	var acc T
+	for i := 0; i < r.id; i++ {
+		v := m.gatherBuf[i].(collSlot).payload.(T)
+		if i == 0 {
+			acc = v
+		} else {
+			acc = combine(op, acc, v)
+		}
+	}
+	r.chargeAllReduceTree(scalarBytes)
+	r.Barrier()
+	m.gatherBuf[r.id] = nil
+	return acc
+}
+
 // AllReduceFloat64 combines one float64 value per rank.
 func (r *Rank) AllReduceFloat64(x float64, op ReduceOp) float64 {
 	return AllReduce(r, x, op)
@@ -241,6 +267,31 @@ func (r *Rank) AllReduceFloat64(x float64, op ReduceOp) float64 {
 // int64 arithmetic and therefore exact for the full int64 range.
 func (r *Rank) AllReduceInt64(x int64, op ReduceOp) int64 {
 	return AllReduce(r, x, op)
+}
+
+// ReduceAll combines one arbitrary mergeable value per rank — a streaming
+// summary, a sketch — and returns fold(contributions in rank order) on every
+// rank. It is charged like AllReduce of a payload of the given wire bytes
+// (the recursive-doubling tree, ceil(log2 P) rounds), NOT like a gather:
+// bytes must be a bound on one contribution's wire size, identical on every
+// rank. No rank materializes all P contributions against the resident meter
+// — at any moment a real tree reduction holds at most two partial summaries.
+// fold must be deterministic and must not mutate the contributions (every
+// rank folds the same shared values concurrently); every rank computes the
+// same result.
+func ReduceAll[T any](r *Rank, x T, bytes int, fold func(contribs []T) T) T {
+	m := r.machine
+	m.gatherBuf[r.id] = collSlot{payload: x, bytes: bytes}
+	r.Barrier()
+	contribs := make([]T, m.cfg.Ranks)
+	for i := 0; i < m.cfg.Ranks; i++ {
+		contribs[i] = m.gatherBuf[i].(collSlot).payload.(T)
+	}
+	out := fold(contribs)
+	r.chargeAllReduceTree(bytes)
+	r.Barrier()
+	m.gatherBuf[r.id] = nil
+	return out
 }
 
 // Gather collects one value from every rank and returns the slice (indexed
@@ -296,6 +347,14 @@ func gatherV[T any](r *Rank, items []T, localBytes int) [][]T {
 		out[i] = slot.payload.([]T)
 	}
 	r.chargeAllGatherTree(sizes)
+	// Every rank materializes the full gathered payload: charge it against
+	// the resident-bytes meter (the caller releases it when the gathered
+	// data is dropped).
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	r.ChargeResident(total)
 	r.Barrier()
 	// See Gather: the slot is dead after the exit barrier; dropping it keeps
 	// the machine from pinning the last gathered payload alive.
@@ -330,6 +389,23 @@ func Broadcast[T any](r *Rank, x T) T {
 // (aggregated messages), and received batches are accounted to
 // BytesReceived.
 func AllToAll[T any](r *Rank, outgoing [][]T, bytesPerItem int) [][]T {
+	return allToAll(r, outgoing, func(batch []T) int { return len(batch) * bytesPerItem })
+}
+
+// AllToAllV is AllToAll for items with variable wire sizes: sizeOf reports
+// the wire bytes of one item, and each non-empty destination batch is charged
+// its actual payload bytes.
+func AllToAllV[T any](r *Rank, outgoing [][]T, sizeOf func(T) int) [][]T {
+	return allToAll(r, outgoing, func(batch []T) int {
+		total := 0
+		for _, it := range batch {
+			total += sizeOf(it)
+		}
+		return total
+	})
+}
+
+func allToAll[T any](r *Rank, outgoing [][]T, batchBytes func([]T) int) [][]T {
 	m := r.machine
 	if len(outgoing) != m.cfg.Ranks {
 		panic(fmt.Sprintf("pgas: AllToAll outgoing has %d entries, want %d", len(outgoing), m.cfg.Ranks))
@@ -337,20 +413,26 @@ func AllToAll[T any](r *Rank, outgoing [][]T, bytesPerItem int) [][]T {
 	for dest, batch := range outgoing {
 		m.exchangeBuf[dest][r.id] = batch
 		if len(batch) > 0 && dest != r.id {
-			r.ChargeSend(dest, len(batch)*bytesPerItem, 1)
+			r.ChargeSend(dest, batchBytes(batch), 1)
 		}
 	}
 	r.Barrier()
 	incoming := make([][]T, m.cfg.Ranks)
+	resident := 0
 	for src := 0; src < m.cfg.Ranks; src++ {
 		slot := m.exchangeBuf[r.id][src]
 		if slot != nil {
 			incoming[src] = slot.([]T)
+			bytes := batchBytes(incoming[src])
+			resident += bytes
 			if src != r.id {
-				r.stats.BytesReceived += uint64(len(incoming[src]) * bytesPerItem)
+				r.stats.BytesReceived += uint64(bytes)
 			}
 		}
 	}
+	// The received batches (including the rank's own, which stays local) are
+	// materialized on this rank; the caller releases them when consumed.
+	r.ChargeResident(resident)
 	r.Barrier()
 	for src := 0; src < m.cfg.Ranks; src++ {
 		m.exchangeBuf[r.id][src] = nil

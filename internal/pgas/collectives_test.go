@@ -245,13 +245,14 @@ func TestCollectivesGolden(t *testing.T) {
 		t.Errorf("SimSeconds = %.17g, want %v", res.SimSeconds, wantSim)
 	}
 	want := CommStats{
-		Messages:        135,    // 3 tree rounds x 8 ranks x 3 all-gather-style collectives + 7 broadcast + 56 all-to-all
-		OffNodeMessages: 60,     // 1 off-node round per rank per tree collective + 4 broadcast hops + 32 all-to-all
-		BytesSent:       255384, // dominated by the GatherV forwarding of 36000 payload bytes
-		BytesReceived:   255384, // every sent byte is received by its partner
-		OffNodeBytes:    145888,
-		RemotePuts:      56, // AllToAll charges per-destination batches as puts
-		Barriers:        88, // 2 per tree collective x 4 + 3 for AllToAll, x 8 ranks
+		Messages:          135,    // 3 tree rounds x 8 ranks x 3 all-gather-style collectives + 7 broadcast + 56 all-to-all
+		OffNodeMessages:   60,     // 1 off-node round per rank per tree collective + 4 broadcast hops + 32 all-to-all
+		BytesSent:         255384, // dominated by the GatherV forwarding of 36000 payload bytes
+		BytesReceived:     255384, // every sent byte is received by its partner
+		OffNodeBytes:      145888,
+		RemotePuts:        56,    // AllToAll charges per-destination batches as puts
+		Barriers:          88,    // 2 per tree collective x 4 + 3 for AllToAll, x 8 ranks
+		PeakResidentBytes: 36384, // 36000 GatherV payload + 8x48 all-to-all batches materialized
 	}
 	got := res.Stats
 	got.ComputeOps = 0 // no compute charged in this sequence; keep the comparison total

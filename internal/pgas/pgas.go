@@ -110,9 +110,19 @@ type CommStats struct {
 	Barriers        uint64
 	CacheHits       uint64
 	CacheMisses     uint64
+	// PeakResidentBytes is the high-water mark of collective payload bytes
+	// materialized by a rank at one time: collectives charge the payloads
+	// they deliver (a gather-to-all charges the full gathered set on every
+	// rank, an all-to-all only the batches actually received) and callers
+	// release what they drop via ReleaseResident. Unlike the traffic
+	// counters this is a per-rank *footprint*, so Add folds it with max, and
+	// an aggregate CommStats reports the worst rank's peak.
+	PeakResidentBytes uint64
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. Traffic counters are summed;
+// PeakResidentBytes, a per-rank footprint, is folded with max (the worst
+// rank's peak).
 func (s *CommStats) Add(other CommStats) {
 	s.ComputeOps += other.ComputeOps
 	s.Messages += other.Messages
@@ -126,6 +136,9 @@ func (s *CommStats) Add(other CommStats) {
 	s.Barriers += other.Barriers
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
+	if other.PeakResidentBytes > s.PeakResidentBytes {
+		s.PeakResidentBytes = other.PeakResidentBytes
+	}
 }
 
 // Machine is a virtual PGAS machine: a set of ranks grouped into nodes,
@@ -273,11 +286,12 @@ func (m *Machine) recordStage(name string, seconds float64) {
 
 // Rank is the per-goroutine handle of one SPMD rank.
 type Rank struct {
-	machine *Machine
-	id      int
-	node    int
-	clock   float64
-	stats   CommStats
+	machine  *Machine
+	id       int
+	node     int
+	clock    float64
+	resident uint64
+	stats    CommStats
 }
 
 // ID returns the rank index in [0, NRanks).
@@ -352,6 +366,51 @@ func (r *Rank) ChargeGet(src int, bytes int, msgs int) {
 	} else {
 		r.clock += float64(msgs)*c.LatencyOnNode + float64(bytes)*c.ByteOnNode
 	}
+}
+
+// ChargeResident records that bytes bytes of collective payload are now
+// materialized on this rank (a gathered result, a received exchange batch, a
+// distributed set's local shard) and updates the peak-resident high-water
+// mark. Resident tracking is a memory-footprint meter, not a clock charge:
+// it costs no simulated time.
+func (r *Rank) ChargeResident(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	r.resident += uint64(bytes)
+	if r.resident > r.stats.PeakResidentBytes {
+		r.stats.PeakResidentBytes = r.resident
+	}
+}
+
+// ReleaseResident records that bytes bytes previously charged with
+// ChargeResident have been dropped (the payload was consumed or replaced).
+// Releases are clamped at zero so a conservative caller can never underflow
+// the meter.
+func (r *Rank) ReleaseResident(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	if uint64(bytes) > r.resident {
+		r.resident = 0
+		return
+	}
+	r.resident -= uint64(bytes)
+}
+
+// Resident returns the collective payload bytes currently materialized on
+// this rank.
+func (r *Rank) Resident() uint64 { return r.resident }
+
+// AccountReceived records inbound bytes whose wire time the sender already
+// paid (the receiver side of a one-way aggregated transfer, as in the
+// collectives' delivery accounting). It keeps the global
+// BytesSent==BytesReceived invariant without double-charging the clock.
+func (r *Rank) AccountReceived(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	r.stats.BytesReceived += uint64(bytes)
 }
 
 // ChargeCacheHit records a software-cache hit (served locally, nearly free).

@@ -5,6 +5,16 @@
 // paper's heuristics (longest-seed-first, extendable ends, repeat
 // suspension, and the ribosomal/HMM-hit rule), and the remaining gaps are
 // closed with a load-balanced per-gap phase.
+//
+// Since PR 3 the stage runs on distributed ownership end to end: link
+// evidence lives in the link DHT as before, but the accepted links are
+// copied only to the two endpoint contigs' owner ranks (which decide repeat
+// suspension owner-side and veto suspended links), surviving links are
+// routed only to the rank traversing their component, traversal fetches the
+// contigs it touches through a cached one-sided read, and the finished
+// scaffolds stay distributed until a single rank-ordered emit on rank 0.
+// The only per-contig state every rank holds is the integer component label
+// array; no rank materializes the full link, contig or scaffold payloads.
 package scaffold
 
 import (
@@ -15,6 +25,7 @@ import (
 	"mhmgo/internal/cc"
 	"mhmgo/internal/dbg"
 	"mhmgo/internal/dht"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/hmm"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
@@ -80,7 +91,13 @@ type Scaffold struct {
 // Len returns the scaffold length in bases.
 func (s Scaffold) Len() int { return len(s.Seq) }
 
-// Result reports the outcome of scaffolding.
+// WireSize returns the wire bytes charged when a scaffold is routed or
+// emitted: header words, the sequence and the member contig IDs.
+func (s Scaffold) WireSize() int { return 32 + len(s.Seq) + 8*len(s.ContigIDs) }
+
+// Result reports the outcome of scaffolding. Scaffolds is the final,
+// deterministically ordered scaffold list materialized on rank 0 only (nil
+// on every other rank); the counters are identical on every rank.
 type Result struct {
 	Scaffolds        []Scaffold
 	SplintLinks      int
@@ -130,6 +147,37 @@ func normalizeKey(c1 int, e1 byte, c2 int, e2 byte) linkKey {
 	return linkKey{C1: c2, C2: c1, End1: e2, End2: e1}
 }
 
+// acceptedLink is one accepted contig-graph edge as it moves between ranks.
+type acceptedLink struct {
+	Key linkKey
+	Gap int
+	Sup int
+}
+
+// WireSize returns the wire bytes of one accepted link: the two contig IDs
+// and end bytes of the key plus the gap and support words.
+func (acceptedLink) WireSize() int { return 34 }
+
+// endpointCopy is an accepted link shipped to the owner of one of its
+// endpoint contigs (Which selects the endpoint: 1 for C1, 2 for C2).
+type endpointCopy struct {
+	Link  acceptedLink
+	Which byte
+}
+
+func (endpointCopy) WireSize() int { return 35 }
+
+// flagNotice tells the rank traversing a contig's component that the contig
+// is a suspended repeat or an HMM (rRNA) hit; only the owners know, and only
+// the flagged minority is shipped.
+type flagNotice struct {
+	ContigID  int
+	Suspended bool
+	HMMHit    bool
+}
+
+func (flagNotice) WireSize() int { return 10 }
+
 // endAndDistance derives, for one aligned read of an innie pair, which end
 // of the contig the rest of the fragment extends past and how far the read
 // start is from that end.
@@ -141,10 +189,11 @@ func endAndDistance(a aligner.Alignment, contigLen int) (end byte, dist int) {
 	return 'L', a.ContigPos + a.AlignLen
 }
 
-// Run performs scaffolding. Collective: every rank passes its local reads
-// (distributed in whole pairs) and their alignments; every rank returns the
-// same Result.
-func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, alignments []aligner.Alignment, opts Options) Result {
+// Run performs scaffolding over the distributed contig set. Collective:
+// every rank passes its local reads (distributed in whole pairs) and their
+// alignments; the counters of the returned Result are identical on every
+// rank and Result.Scaffolds is materialized on rank 0.
+func Run(r *pgas.Rank, cs *dbg.ContigSet, reads []seq.Read, readOffset int, alignments []aligner.Alignment, opts Options) Result {
 	if opts.InsertSize <= 0 {
 		opts.InsertSize = 300
 	}
@@ -158,16 +207,15 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		opts.MinGapOverlap = 15
 	}
 
-	byID := make(map[int]int, len(contigs))
-	for i, c := range contigs {
-		byID[c.ID] = i
-	}
-
+	mode := cs.Mode()
+	creader := cs.NewReader(r, 1<<16)
 	var res Result
 
 	// Step 1: link generation. Pair up the local alignments by read pair and
 	// store splint/span evidence in a distributed hash table keyed by the
-	// contig-end pair (Global Update-Only phase).
+	// contig-end pair (Global Update-Only phase). Contig lengths come from
+	// the distributed set through the cached reader; with read localization
+	// the aligned contig is usually owner-local.
 	linkTable := dht.NewMapCollective[linkKey, linkAgg](r, linkHash, 40)
 	combine := func(existing, update linkAgg, found bool) linkAgg {
 		existing.Count += update.Count
@@ -190,13 +238,10 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		if !ok || mate.ContigID == a.ContigID {
 			continue
 		}
-		ci1, ok1 := byID[a.ContigID]
-		ci2, ok2 := byID[mate.ContigID]
-		if !ok1 || !ok2 {
-			continue
-		}
-		end1, d1 := endAndDistance(a, len(contigs[ci1].Seq))
-		end2, d2 := endAndDistance(mate, len(contigs[ci2].Seq))
+		// The contig lengths ride along in the alignment records, so link
+		// generation needs no remote contig fetches.
+		end1, d1 := endAndDistance(a, a.ContigLen)
+		end2, d2 := endAndDistance(mate, mate.ContigLen)
 		gap := opts.InsertSize - d1 - d2
 		if gap > opts.InsertSize {
 			continue
@@ -217,12 +262,7 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 	linkTable.Freeze()
 
 	// Step 2: assess links locally on their owner ranks (Local Reads &
-	// Writes phase) and gather the accepted edges everywhere.
-	type acceptedLink struct {
-		Key linkKey
-		Gap int
-		Sup int
-	}
+	// Writes phase). The accepted links stay distributed.
 	var localAccepted []acceptedLink
 	linkTable.ForEachLocal(r, func(k linkKey, agg linkAgg) {
 		if agg.Count < opts.MinLinkSupport {
@@ -230,81 +270,110 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		}
 		localAccepted = append(localAccepted, acceptedLink{Key: k, Gap: agg.GapSum / agg.Count, Sup: agg.Count})
 	})
-	allAccepted := pgas.GatherV(r, localAccepted, 34)
-	adj := make(map[int][]linkInfo)
-	accepted := 0
-	for _, batch := range allAccepted {
-		for _, al := range batch {
-			accepted++
-			adj[al.Key.C1] = append(adj[al.Key.C1], linkInfo{Other: al.Key.C2, MyEnd: al.Key.End1, OtherEnd: al.Key.End2, Gap: al.Gap, Support: al.Sup})
-			adj[al.Key.C2] = append(adj[al.Key.C2], linkInfo{Other: al.Key.C1, MyEnd: al.Key.End2, OtherEnd: al.Key.End1, Gap: al.Gap, Support: al.Sup})
-		}
-	}
-	for id := range adj {
-		links := adj[id]
-		sort.Slice(links, func(i, j int) bool {
-			if links[i].Support != links[j].Support {
-				return links[i].Support > links[j].Support
-			}
-			if links[i].Other != links[j].Other {
-				return links[i].Other < links[j].Other
-			}
-			return links[i].MyEnd < links[j].MyEnd
-		})
-		adj[id] = links
-	}
 	res.SplintLinks = pgas.AllReduce(r, splintsLocal, pgas.ReduceSum)
 	res.SpanLinks = pgas.AllReduce(r, spansLocal, pgas.ReduceSum)
-	res.AcceptedLinks = accepted
+	res.AcceptedLinks = pgas.AllReduce(r, len(localAccepted), pgas.ReduceSum)
 
-	// Step 3: identify HMM (rRNA) hits and repeats to suspend.
-	hmmHit := make(map[int]bool)
+	// Step 3: copy each accepted link to its endpoint contigs' owners (one
+	// copy per endpoint), so repeat suspension can be decided owner-side
+	// from purely local counts.
+	var copies []endpointCopy
+	for _, al := range localAccepted {
+		copies = append(copies, endpointCopy{Link: al, Which: 1}, endpointCopy{Link: al, Which: 2})
+	}
+	ownerOfCopy := func(ec endpointCopy) int {
+		id := ec.Link.Key.C1
+		if ec.Which == 2 {
+			id = ec.Link.Key.C2
+		}
+		owner, _ := cs.Locate(id)
+		return owner
+	}
+	myCopies := dist.Exchange(r, copies, ownerOfCopy, endpointCopy.WireSize, mode)
+
+	// Step 4: owner-side suspension and HMM classification. Every quantity
+	// needed — contig length, rRNA hit, per-end link counts — is local to
+	// the owner.
+	hmmHitLocal := make(map[int]bool)
 	if opts.RRNAProfile != nil {
-		lo, hi := r.BlockRange(len(contigs))
-		var localHits []int
-		for i := lo; i < hi; i++ {
-			if opts.RRNAProfile.IsHit(contigs[i].Seq, opts.RRNAThreshold) {
-				localHits = append(localHits, contigs[i].ID)
+		cs.ForEachLocal(r, func(_ int, c dbg.Contig) {
+			if opts.RRNAProfile.IsHit(c.Seq, opts.RRNAThreshold) {
+				hmmHitLocal[c.ID] = true
 			}
-			r.Compute(float64(len(contigs[i].Seq)))
-		}
-		for _, batch := range pgas.GatherV(r, localHits, 8) {
-			for _, id := range batch {
-				hmmHit[id] = true
-			}
-		}
+			r.Compute(float64(len(c.Seq)))
+		})
 	}
-	res.RRNAHits = len(hmmHit)
+	res.RRNAHits = pgas.AllReduce(r, len(hmmHitLocal), pgas.ReduceSum)
 
-	suspended := make(map[int]bool)
-	for _, c := range contigs {
-		if len(c.Seq) > opts.InsertSize || hmmHit[c.ID] {
-			continue
-		}
-		if countEndLinks(adj[c.ID], 'L') > 1 && countEndLinks(adj[c.ID], 'R') > 1 {
-			suspended[c.ID] = true
+	type endKey struct {
+		id  int
+		end byte
+	}
+	endCount := make(map[endKey]int)
+	for _, ec := range myCopies {
+		k := ec.Link.Key
+		if ec.Which == 1 {
+			endCount[endKey{k.C1, k.End1}]++
+		} else {
+			endCount[endKey{k.C2, k.End2}]++
 		}
 	}
-	res.RepeatsSuspended = len(suspended)
+	r.Compute(float64(len(myCopies)))
+	suspendedLocal := make(map[int]bool)
+	cs.ForEachLocal(r, func(_ int, c dbg.Contig) {
+		if len(c.Seq) > opts.InsertSize || hmmHitLocal[c.ID] {
+			return
+		}
+		if endCount[endKey{c.ID, 'L'}] > 1 && endCount[endKey{c.ID, 'R'}] > 1 {
+			suspendedLocal[c.ID] = true
+		}
+	})
+	res.RepeatsSuspended = pgas.AllReduce(r, len(suspendedLocal), pgas.ReduceSum)
 
-	// Step 4: connected components over the accepted links (excluding
-	// suspended repeats), computed with the parallel Shiloach-Vishkin-style
-	// algorithm, then distributed round-robin over ranks for traversal.
-	var edges []cc.Edge
-	for _, batch := range allAccepted {
-		for _, al := range batch {
-			if suspended[al.Key.C1] || suspended[al.Key.C2] {
-				continue
+	// Step 5: suspended endpoints veto their links. The C1-owner's copy is
+	// the link's home; the C2 owner sends a veto home when C2 is suspended.
+	var vetoes []acceptedLink
+	var homeLinks []acceptedLink
+	for _, ec := range myCopies {
+		k := ec.Link.Key
+		switch ec.Which {
+		case 1:
+			if !suspendedLocal[k.C1] {
+				homeLinks = append(homeLinks, ec.Link)
 			}
-			i1, ok1 := byID[al.Key.C1]
-			i2, ok2 := byID[al.Key.C2]
-			if ok1 && ok2 {
-				edges = append(edges, cc.Edge{U: i1, V: i2})
+		case 2:
+			if suspendedLocal[k.C2] {
+				vetoes = append(vetoes, ec.Link)
 			}
 		}
 	}
-	lo, hi := r.BlockRange(len(edges))
-	labels := cc.Parallel(r, len(contigs), edges[lo:hi], nil)
+	homeOf := func(al acceptedLink) int {
+		owner, _ := cs.Locate(al.Key.C1)
+		return owner
+	}
+	myVetoes := dist.Exchange(r, vetoes, homeOf, acceptedLink.WireSize, mode)
+	vetoed := make(map[linkKey]bool, len(myVetoes))
+	for _, v := range myVetoes {
+		vetoed[v.Key] = true
+	}
+	surviving := homeLinks[:0]
+	for _, al := range homeLinks {
+		if !vetoed[al.Key] {
+			surviving = append(surviving, al)
+		}
+	}
+	r.Compute(float64(len(homeLinks)))
+
+	// Step 6: connected components over the surviving links, computed with
+	// the parallel Shiloach-Vishkin-style algorithm from distributed edges.
+	// The integer label array is the one per-contig structure every rank
+	// keeps (8 bytes per contig, index-only — see DESIGN.md).
+	n := cs.GlobalLen(r)
+	edges := make([]cc.Edge, 0, len(surviving))
+	for _, al := range surviving {
+		edges = append(edges, cc.Edge{U: al.Key.C1, V: al.Key.C2})
+	}
+	labels := cc.Parallel(r, n, edges, nil)
 	groups := cc.GroupByComponent(labels)
 	res.Components = len(groups)
 
@@ -313,17 +382,108 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		reps = append(reps, rep)
 	}
 	sort.Ints(reps)
+	repIndex := make(map[int]int, len(reps))
+	for gi, rep := range reps {
+		repIndex[rep] = gi
+	}
+	traverserOf := func(contigID int) int {
+		if !opts.UseComponents {
+			return 0
+		}
+		return repIndex[labels[contigID]] % r.NRanks()
+	}
 
-	// Step 5: traverse each component. Components are assigned to ranks
-	// round-robin; each rank traverses its components independently.
+	// Step 7: route each surviving link to the rank traversing its
+	// component, and ship the (rare) suspended/HMM flags of every contig to
+	// its traverser so seeds and extendability follow the paper's rules.
+	myLinks := dist.Exchange(r, surviving,
+		func(al acceptedLink) int { return traverserOf(al.Key.C1) },
+		acceptedLink.WireSize, mode)
+	var notices []flagNotice
+	cs.ForEachLocal(r, func(_ int, c dbg.Contig) {
+		if suspendedLocal[c.ID] || hmmHitLocal[c.ID] {
+			notices = append(notices, flagNotice{ContigID: c.ID, Suspended: suspendedLocal[c.ID], HMMHit: hmmHitLocal[c.ID]})
+		}
+	})
+	myNotices := dist.Exchange(r, notices,
+		func(fn flagNotice) int { return traverserOf(fn.ContigID) },
+		flagNotice.WireSize, mode)
+
+	adj := make(map[int][]linkInfo)
+	for _, al := range myLinks {
+		k := al.Key
+		adj[k.C1] = append(adj[k.C1], linkInfo{Other: k.C2, MyEnd: k.End1, OtherEnd: k.End2, Gap: al.Gap, Support: al.Sup})
+		adj[k.C2] = append(adj[k.C2], linkInfo{Other: k.C1, MyEnd: k.End2, OtherEnd: k.End1, Gap: al.Gap, Support: al.Sup})
+	}
+	suspended := make(map[int]bool)
+	hmmHit := make(map[int]bool)
+	for _, fn := range myNotices {
+		if fn.Suspended {
+			suspended[fn.ContigID] = true
+		}
+		if fn.HMMHit {
+			hmmHit[fn.ContigID] = true
+		}
+	}
 	tr := &traverser{
-		contigs:   contigs,
-		byID:      byID,
+		creader:   creader,
 		adj:       adj,
 		suspended: suspended,
 		hmmHit:    hmmHit,
 		opts:      opts,
 	}
+	// Candidate links are ordered deterministically by support, then gap,
+	// then the partner contig's content — never by the rank-count-dependent
+	// ID numbering, and never by the run-to-run-varying order the link
+	// exchanges delivered them in. The partner contigs are fetched once per
+	// distinct ID before sorting, so the charged fetch count cannot depend
+	// on the comparison count.
+	contentRank := make(map[int]int)
+	{
+		distinct := make([]int, 0, len(adj))
+		seen := make(map[int]bool)
+		for _, links := range adj {
+			for _, l := range links {
+				if !seen[l.Other] {
+					seen[l.Other] = true
+					distinct = append(distinct, l.Other)
+				}
+			}
+		}
+		sort.Ints(distinct)
+		fetched := make(map[int]dbg.Contig, len(distinct))
+		for _, id := range distinct {
+			fetched[id] = tr.creader.Get(id)
+		}
+		sort.Slice(distinct, func(i, j int) bool {
+			return dbg.ContigLess(fetched[distinct[i]], fetched[distinct[j]])
+		})
+		for rank, id := range distinct {
+			contentRank[id] = rank
+		}
+	}
+	for id := range adj {
+		links := adj[id]
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].Support != links[j].Support {
+				return links[i].Support > links[j].Support
+			}
+			if links[i].Gap != links[j].Gap {
+				return links[i].Gap < links[j].Gap
+			}
+			if links[i].Other != links[j].Other {
+				return contentRank[links[i].Other] < contentRank[links[j].Other]
+			}
+			if links[i].MyEnd != links[j].MyEnd {
+				return links[i].MyEnd < links[j].MyEnd
+			}
+			return links[i].OtherEnd < links[j].OtherEnd
+		})
+		adj[id] = links
+	}
+
+	// Step 8: traverse the components assigned to this rank, longest seed
+	// first, fetching the contigs each chain touches through the cache.
 	var localChains [][]placedContig
 	for gi, rep := range reps {
 		if opts.UseComponents {
@@ -333,45 +493,45 @@ func Run(r *pgas.Rank, contigs []dbg.Contig, reads []seq.Read, readOffset int, a
 		} else if r.ID() != 0 {
 			continue
 		}
-		members := groups[rep]
-		localChains = append(localChains, tr.traverseComponent(r, members)...)
+		localChains = append(localChains, tr.traverseComponent(r, groups[rep])...)
 	}
 	r.Barrier()
 
-	// Step 6: gap closing, load-balanced round-robin over all gaps; then the
-	// scaffolds are materialized and gathered.
-	localScaffolds, gapsTotal, gapsClosed := buildScaffolds(r, contigs, byID, localChains, opts)
-	allScaffolds := pgas.GatherVFunc(r, localScaffolds, func(s Scaffold) int {
-		return 32 + len(s.Seq) + 8*len(s.ContigIDs)
-	})
-	var merged []Scaffold
-	for _, batch := range allScaffolds {
-		merged = append(merged, batch...)
-	}
-	sort.Slice(merged, func(i, j int) bool {
-		if len(merged[i].Seq) != len(merged[j].Seq) {
-			return len(merged[i].Seq) > len(merged[j].Seq)
-		}
-		return string(merged[i].Seq) < string(merged[j].Seq)
-	})
-	for i := range merged {
-		merged[i].ID = i
-	}
-	res.Scaffolds = merged
+	// Step 9: gap closing and scaffold materialization, locally per
+	// traverser; the scaffolds stay distributed.
+	localScaffolds, gapsTotal, gapsClosed := buildScaffolds(r, creader, localChains, opts)
 	res.GapsTotal = pgas.AllReduce(r, gapsTotal, pgas.ReduceSum)
 	res.GapsClosed = pgas.AllReduce(r, gapsClosed, pgas.ReduceSum)
-	r.Barrier()
-	return res
-}
 
-func countEndLinks(links []linkInfo, end byte) int {
-	n := 0
-	for _, l := range links {
-		if l.MyEnd == end {
-			n++
+	// Step 10: provisional IDs in rank order via the exclusive scan, then a
+	// single rank-ordered emit materializes the output on rank 0 only, where
+	// it is put into the deterministic global order. Only the summary
+	// counters above were all-reduced; no gather-to-all anywhere.
+	// The scaffolds are already owner-placed on the rank that traversed
+	// their component; stamp that rank into the provisional ID so the owner
+	// function is a pure function of the item (Renumber overwrites it).
+	for i := range localScaffolds {
+		localScaffolds[i].ID = r.ID()
+	}
+	sset := dist.New(r, localScaffolds,
+		func(s Scaffold) int { return s.ID },
+		Scaffold.WireSize, mode)
+	sset.Renumber(r, func(i, id int) { sset.Local(r)[i].ID = id })
+	merged := sset.Emit(r)
+	if merged != nil {
+		sort.Slice(merged, func(i, j int) bool {
+			if len(merged[i].Seq) != len(merged[j].Seq) {
+				return len(merged[i].Seq) > len(merged[j].Seq)
+			}
+			return string(merged[i].Seq) < string(merged[j].Seq)
+		})
+		for i := range merged {
+			merged[i].ID = i
 		}
 	}
-	return n
+	res.Scaffolds = merged
+	r.Barrier()
+	return res
 }
 
 // placedContig is one oriented contig in a scaffold chain, with the gap to
@@ -382,37 +542,37 @@ type placedContig struct {
 	GapBefore int
 }
 
-// traverser holds the shared state of the contig-graph traversal heuristics.
+// traverser holds the per-rank state of the contig-graph traversal
+// heuristics. Contigs are fetched on demand through the cached reader.
 type traverser struct {
-	contigs   []dbg.Contig
-	byID      map[int]int
+	creader   *dist.Reader[dbg.Contig]
 	adj       map[int][]linkInfo
 	suspended map[int]bool
 	hmmHit    map[int]bool
 	opts      Options
 }
 
-// traverseComponent traverses one connected component (given by contig
-// indices) and returns the chains formed.
+// traverseComponent traverses one connected component (given by contig IDs)
+// and returns the chains formed.
 func (t *traverser) traverseComponent(r *pgas.Rank, members []int) [][]placedContig {
-	// Seeds in order of decreasing length.
+	// Seeds in order of decreasing length, ties broken by content so the
+	// order is independent of the rank count.
 	seeds := append([]int(nil), members...)
+	fetched := make(map[int]dbg.Contig, len(seeds))
+	for _, id := range seeds {
+		fetched[id] = t.creader.Get(id)
+	}
 	sort.Slice(seeds, func(i, j int) bool {
-		a, b := t.contigs[seeds[i]], t.contigs[seeds[j]]
-		if len(a.Seq) != len(b.Seq) {
-			return len(a.Seq) > len(b.Seq)
-		}
-		return a.ID < b.ID
+		return dbg.ContigLess(fetched[seeds[i]], fetched[seeds[j]])
 	})
 	used := make(map[int]bool)
 	var chains [][]placedContig
-	for _, idx := range seeds {
-		c := t.contigs[idx]
-		if used[c.ID] || t.suspended[c.ID] {
+	for _, id := range seeds {
+		if used[id] || t.suspended[id] {
 			continue
 		}
-		used[c.ID] = true
-		chain := []placedContig{{ContigID: c.ID, Flipped: false}}
+		used[id] = true
+		chain := []placedContig{{ContigID: id, Flipped: false}}
 		// Extend to the right, then to the left (by extending the reversed
 		// chain to the right and flipping it back).
 		chain = t.extend(r, chain, used)
@@ -487,7 +647,7 @@ func (t *traverser) pickLink(contigID int, end byte, used map[int]bool) (linkInf
 		// targets include a clearly better (long) contig.
 		long := candidates[:0]
 		for _, l := range candidates {
-			if idx, ok := t.byID[l.Other]; ok && len(t.contigs[idx].Seq) >= t.opts.LongContigThreshold {
+			if len(t.creader.Get(l.Other).Seq) >= t.opts.LongContigThreshold {
 				long = append(long, l)
 			}
 		}
@@ -507,8 +667,8 @@ func (t *traverser) pickLink(contigID int, end byte, used map[int]bool) (linkInf
 
 // buildScaffolds materializes scaffold sequences from chains, closing gaps
 // where the neighbouring contig ends overlap and filling the rest with Ns.
-// Gaps are distributed round-robin over the ranks that own the chains.
-func buildScaffolds(r *pgas.Rank, contigs []dbg.Contig, byID map[int]int, chains [][]placedContig, opts Options) ([]Scaffold, int, int) {
+// Member contigs are fetched through the cached reader.
+func buildScaffolds(r *pgas.Rank, creader *dist.Reader[dbg.Contig], chains [][]placedContig, opts Options) ([]Scaffold, int, int) {
 	var out []Scaffold
 	gapsTotal, gapsClosed := 0, 0
 	for _, chain := range chains {
@@ -516,8 +676,7 @@ func buildScaffolds(r *pgas.Rank, contigs []dbg.Contig, byID map[int]int, chains
 		var ids []int
 		gaps, closed := 0, 0
 		for i, pc := range chain {
-			idx := byID[pc.ContigID]
-			s := contigs[idx].Seq
+			s := creader.Get(pc.ContigID).Seq
 			if pc.Flipped {
 				s = seq.ReverseComplement(s)
 			}

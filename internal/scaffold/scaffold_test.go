@@ -6,6 +6,7 @@ import (
 
 	"mhmgo/internal/aligner"
 	"mhmgo/internal/dbg"
+	"mhmgo/internal/dist"
 	"mhmgo/internal/hmm"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
@@ -32,10 +33,12 @@ func runScaffold(t *testing.T, contigs []dbg.Contig, reads []seq.Read, ranks int
 	aopts := aligner.DefaultOptions(15)
 	var res Result
 	m.Run(func(r *pgas.Rank) {
-		idx := aligner.BuildIndex(r, contigs, aopts)
+		clo, chi := r.BlockRange(len(contigs))
+		cs := dbg.DistributeContigs(r, contigs[clo:chi], dist.Distributed)
+		idx := aligner.BuildIndex(r, cs, aopts)
 		lo, hi := r.PairBlockRange(len(reads))
 		aligns, _ := aligner.AlignReads(r, idx, reads[lo:hi], lo, aopts)
-		got := Run(r, contigs, reads[lo:hi], lo, aligns, opts)
+		got := Run(r, cs, reads[lo:hi], lo, aligns, opts)
 		if r.ID() == 0 {
 			res = got
 		}

@@ -125,6 +125,11 @@ type Read struct {
 // Len returns the read length in bases.
 func (r *Read) Len() int { return len(r.Seq) }
 
+// WireSize returns the wire bytes charged when a read is shipped between
+// ranks (read localization, recruitment): identifier, sequence and quality
+// payloads plus two length words of framing.
+func (r Read) WireSize() int { return 16 + len(r.ID) + len(r.Seq) + len(r.Qual) }
+
 // Validate checks internal consistency of the read.
 func (r *Read) Validate() error {
 	if len(r.Seq) == 0 {

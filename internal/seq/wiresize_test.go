@@ -1,0 +1,16 @@
+package seq
+
+import (
+	"testing"
+
+	"mhmgo/internal/pgas"
+)
+
+// TestReadWireSize pins the read-shipping wire size against the reflective
+// lower bound.
+func TestReadWireSize(t *testing.T) {
+	rd := Read{ID: "pair/1", Seq: []byte("ACGTACGTAC"), Qual: []byte("IIIIIIIIII")}
+	if got, min := rd.WireSize(), pgas.WireSizeOf(rd); got < min {
+		t.Errorf("Read.WireSize() = %d < encoded size %d", got, min)
+	}
+}
