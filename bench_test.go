@@ -287,3 +287,69 @@ func BenchmarkDistributedOwnership(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMultiLibraryScaffolding compares round-based multi-library
+// scaffolding (a 300 bp paired-end plus a 1500 bp jumping library, one round
+// per library in ascending insert order) against the legacy single-library
+// treatment of the same reads, which applies the short-insert geometry to
+// every pair. It reports scaffold N50 and simulated seconds for both and
+// writes the comparison to BENCH_multilib.json so the workload has a
+// machine-readable data point per CI run.
+func BenchmarkMultiLibraryScaffolding(b *testing.B) {
+	commCfg := mhmgo.DefaultCommunityConfig()
+	commCfg.NumGenomes = 4
+	commCfg.MeanGenomeLen = 12000
+	comm := mhmgo.SimulateCommunity(commCfg)
+	readCfg := mhmgo.TwoLibraryReadConfig(16, 5)
+	reads := mhmgo.SimulateReads(comm, readCfg)
+	norm := readCfg.Normalized()
+
+	const ranks = 8
+	multiCfg := mhmgo.DefaultConfig(ranks)
+	for _, lib := range norm.Libraries {
+		multiCfg.Libraries = append(multiCfg.Libraries, mhmgo.Library{
+			Name: lib.Name, ReadLen: lib.ReadLen,
+			InsertSize: lib.InsertSize, InsertStd: lib.InsertStd,
+		})
+	}
+	singleCfg := mhmgo.DefaultConfig(ranks)
+	singleCfg.InsertSize = norm.Libraries[0].InsertSize
+	singleCfg.InsertStd = norm.Libraries[0].InsertStd
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		multiRes, err := mhmgo.Assemble(reads, multiCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		singleRes, err := mhmgo.Assemble(reads, singleCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		multiRep := mhmgo.Evaluate("multilib", multiRes.FinalSequences(), comm)
+		singleRep := mhmgo.Evaluate("singlelib", singleRes.FinalSequences(), comm)
+		b.ReportMetric(float64(multiRep.N50), "multi_N50")
+		b.ReportMetric(float64(singleRep.N50), "single_N50")
+		b.ReportMetric(multiRes.SimSeconds, "multi_sim_s")
+		b.ReportMetric(singleRes.SimSeconds, "single_sim_s")
+		report := map[string]any{
+			"ranks":                  ranks,
+			"reads":                  len(reads),
+			"libraries":              len(multiCfg.Libraries),
+			"rounds":                 len(multiRes.ScaffoldRounds),
+			"multi_n50":              multiRep.N50,
+			"single_n50":             singleRep.N50,
+			"multi_genome_fraction":  multiRep.GenomeFraction,
+			"single_genome_fraction": singleRep.GenomeFraction,
+			"multi_sim_seconds":      multiRes.SimSeconds,
+			"single_sim_seconds":     singleRes.SimSeconds,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_multilib.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

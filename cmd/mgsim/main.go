@@ -3,16 +3,69 @@
 // regions, repeats and strains, and produces paired-end reads with errors.
 // The reference genomes are written alongside the reads so assemblies can be
 // evaluated with mhmeval.
+//
+// Multi-library simulation: -libraries takes a comma-separated list of
+// insert[:std[:share]] specs, e.g. "-libraries 300:30:0.75,1500:150:0.25".
+// Each library is written to its own FASTQ file (the -reads-out name with a
+// .libN suffix before the extension) so the files can be fed straight into
+// mhm's per-library -reads list.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"mhmgo/internal/fastx"
+	"mhmgo/internal/seq"
 	"mhmgo/internal/sim"
 )
+
+// parseLibraries parses the -libraries spec: a comma-separated list of
+// insert[:std[:share]] entries.
+func parseLibraries(s string) ([]sim.LibraryConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var libs []sim.LibraryConfig
+	for i, entry := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(entry), ":")
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("library %q: want insert[:std[:share]]", entry)
+		}
+		lib := sim.LibraryConfig{Name: fmt.Sprintf("lib%d", i)}
+		ins, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("library %q: bad insert size: %v", entry, err)
+		}
+		lib.InsertSize = ins
+		if len(fields) > 1 {
+			if lib.InsertStd, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("library %q: bad insert std: %v", entry, err)
+			}
+		}
+		if len(fields) > 2 {
+			if lib.CoverageShare, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("library %q: bad coverage share: %v", entry, err)
+			}
+		}
+		libs = append(libs, lib)
+	}
+	return libs, nil
+}
+
+// libFileName inserts ".libN" before the file-name extension of path (a dot
+// in a directory component is not an extension).
+func libFileName(path string, i int) string {
+	ext := filepath.Ext(filepath.Base(path))
+	if ext != "" {
+		return fmt.Sprintf("%s.lib%d%s", strings.TrimSuffix(path, ext), i, ext)
+	}
+	return fmt.Sprintf("%s.lib%d", path, i)
+}
 
 func main() {
 	var (
@@ -21,7 +74,8 @@ func main() {
 		sigma     = flag.Float64("abundance-sigma", 1.2, "log-normal abundance sigma")
 		coverage  = flag.Float64("coverage", 15, "mean read coverage")
 		readLen   = flag.Int("read-len", 100, "read length")
-		insert    = flag.Int("insert", 280, "insert size")
+		insert    = flag.Int("insert", seq.DefaultInsertSize, "insert size (single-library mode)")
+		libraries = flag.String("libraries", "", "multi-library spec: insert[:std[:share]],... (overrides -insert)")
 		errRate   = flag.Float64("error-rate", 0.01, "per-base error rate")
 		seed      = flag.Int64("seed", 1, "random seed")
 		readsOut  = flag.String("reads-out", "reads.fastq", "output FASTQ for reads")
@@ -29,21 +83,45 @@ func main() {
 	)
 	flag.Parse()
 
+	libs, err := parseLibraries(*libraries)
+	if err != nil {
+		log.Fatalf("mgsim: -libraries: %v", err)
+	}
+
 	comm := sim.GenerateCommunity(sim.CommunityConfig{
 		NumGenomes:     *genomes,
 		MeanGenomeLen:  *genomeLen,
 		AbundanceSigma: *sigma,
 		Seed:           *seed,
 	})
-	reads := sim.SimulateReads(comm, sim.ReadConfig{
+	readCfg := sim.ReadConfig{
 		ReadLen:    *readLen,
 		InsertSize: *insert,
 		ErrorRate:  *errRate,
 		Coverage:   *coverage,
+		Libraries:  libs,
 		Seed:       *seed + 1,
-	})
+	}
+	reads := sim.SimulateReads(comm, readCfg)
 
-	if err := fastx.WriteReadsFASTQ(*readsOut, reads); err != nil {
+	if len(libs) > 0 {
+		// One FASTQ per library, ready for mhm's per-library -reads list.
+		norm := readCfg.Normalized()
+		for i, lib := range norm.Libraries {
+			var libReads []seq.Read
+			for _, r := range reads {
+				if int(r.LibID) == i {
+					libReads = append(libReads, r)
+				}
+			}
+			name := libFileName(*readsOut, i)
+			if err := fastx.WriteReadsFASTQ(name, libReads); err != nil {
+				log.Fatalf("mgsim: %v", err)
+			}
+			fmt.Printf("library %d (%s, insert %d±%d, share %.2f): %d reads -> %s\n",
+				i, lib.Name, lib.InsertSize, lib.InsertStd, lib.CoverageShare, len(libReads), name)
+		}
+	} else if err := fastx.WriteReadsFASTQ(*readsOut, reads); err != nil {
 		log.Fatalf("mgsim: %v", err)
 	}
 	names := make([]string, len(comm.Genomes))
@@ -56,5 +134,9 @@ func main() {
 		log.Fatalf("mgsim: %v", err)
 	}
 	fmt.Printf("simulated %d genomes (%d bases) and %d reads\n", len(comm.Genomes), comm.TotalBases(), len(reads))
-	fmt.Printf("reads: %s, references: %s\n", *readsOut, *refOut)
+	if len(libs) == 0 {
+		fmt.Printf("reads: %s, references: %s\n", *readsOut, *refOut)
+	} else {
+		fmt.Printf("references: %s\n", *refOut)
+	}
 }

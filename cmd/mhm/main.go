@@ -1,6 +1,15 @@
 // Command mhm is the end-to-end MetaHipMer-Go assembler: it reads FASTQ
-// (interleaved paired-end) reads, runs the full pipeline on a virtual PGAS
-// machine, and writes the resulting scaffolds as FASTA.
+// (interleaved paired-end) reads — one file per library — runs the full
+// pipeline on a virtual PGAS machine, and writes the resulting scaffolds as
+// FASTA.
+//
+// Multi-library assembly: pass a comma-separated file list to -reads and a
+// matching comma-separated insert-size list to -insert (optionally
+// -insert-std). Each file is one library; its reads are tagged with the
+// file's position, and scaffolding runs one round per library in ascending
+// insert-size order:
+//
+//	mhm -reads pe300.fastq,mp1500.fastq -insert 300,1500 -out scaffolds.fasta
 package main
 
 import (
@@ -8,22 +17,43 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"mhmgo/internal/core"
 	"mhmgo/internal/fastx"
 	"mhmgo/internal/pgas"
+	"mhmgo/internal/seq"
 )
+
+// parseIntList parses a comma-separated integer list ("300,1500").
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in list %q", p, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
 
 func main() {
 	var (
-		in           = flag.String("reads", "", "interleaved paired-end FASTQ/FASTA file (required)")
+		in           = flag.String("reads", "", "interleaved paired-end FASTQ/FASTA file(s), comma-separated, one per library (required)")
 		out          = flag.String("out", "scaffolds.fasta", "output FASTA file")
 		ranks        = flag.Int("ranks", 8, "virtual PGAS ranks")
 		ranksPerNode = flag.Int("ranks-per-node", 4, "ranks per virtual node")
 		kmin         = flag.Int("kmin", 21, "smallest k-mer size")
 		kmax         = flag.Int("kmax", 33, "largest k-mer size")
 		kstep        = flag.Int("kstep", 12, "k-mer size step")
-		insert       = flag.Int("insert", 280, "library insert size")
+		insert       = flag.String("insert", "", fmt.Sprintf("library insert size(s), comma-separated, one per -reads file (default %d)", seq.DefaultInsertSize))
+		insertStd    = flag.String("insert-std", "", "library insert std(s), comma-separated (default insert/10)")
 		noScaffold   = flag.Bool("no-scaffold", false, "stop after contig generation")
 		minContig    = flag.Int("min-contig", 0, "drop contigs shorter than this")
 	)
@@ -33,17 +63,61 @@ func main() {
 		os.Exit(2)
 	}
 
-	reads, err := fastx.ReadReadsFile(*in)
+	files := strings.Split(*in, ",")
+	inserts, err := parseIntList(*insert)
 	if err != nil {
-		log.Fatalf("mhm: reading %s: %v", *in, err)
+		log.Fatalf("mhm: -insert: %v", err)
 	}
-	log.Printf("mhm: %d reads loaded", len(reads))
+	stds, err := parseIntList(*insertStd)
+	if err != nil {
+		log.Fatalf("mhm: -insert-std: %v", err)
+	}
+	if len(inserts) > 0 && len(inserts) != len(files) {
+		log.Fatalf("mhm: %d -insert values for %d -reads files", len(inserts), len(files))
+	}
+	if len(stds) > 0 && len(stds) != len(files) {
+		log.Fatalf("mhm: %d -insert-std values for %d -reads files", len(stds), len(files))
+	}
+
+	// One library per input file: reads are tagged with the file's index so
+	// the scaffolder can partition alignments per library.
+	var reads []seq.Read
+	libs := make([]seq.Library, len(files))
+	for i, f := range files {
+		f = strings.TrimSpace(f)
+		block, err := fastx.ReadReadsFile(f)
+		if err != nil {
+			log.Fatalf("mhm: reading %s: %v", f, err)
+		}
+		// Pairing is positional (mates at global indices 2i and 2i+1), so an
+		// odd-length block would misalign every later library's pairs; drop
+		// the trailing unpaired read of any non-final file.
+		if len(block)%2 != 0 && i != len(files)-1 {
+			log.Printf("mhm: warning: %s holds %d reads (odd) — dropping the trailing unpaired read to keep later libraries paired", f, len(block))
+			block = block[:len(block)-1]
+		}
+		lib := seq.Library{Name: f, InsertSize: seq.DefaultInsertSize, InsertStd: seq.DefaultInsertStd}
+		if len(inserts) > 0 {
+			lib.InsertSize = inserts[i]
+			lib.InsertStd = lib.InsertSize / 10
+		}
+		if len(stds) > 0 {
+			lib.InsertStd = stds[i]
+		}
+		libs[i] = lib
+		for j := range block {
+			block[j].LibID = uint8(i)
+		}
+		reads = append(reads, block...)
+		log.Printf("mhm: %s: %d reads loaded (library %d, insert %d±%d)",
+			f, len(block), i, lib.InsertSize, lib.InsertStd)
+	}
 
 	cfg := core.DefaultConfig(*ranks)
 	cfg.RanksPerNode = *ranksPerNode
 	cfg.KMin, cfg.KMax, cfg.KStep = *kmin, *kmax, *kstep
-	cfg.InsertSize = *insert
-	cfg.InsertStd = *insert / 10
+	cfg.Libraries = libs
+	cfg.InsertSize, cfg.InsertStd = libs[0].InsertSize, libs[0].InsertStd
 	cfg.Scaffolding = !*noScaffold
 	cfg.MinContigLen = *minContig
 
@@ -64,6 +138,10 @@ func main() {
 	fmt.Printf("assembly finished: %s\n", res.ScaffoldStats.String())
 	fmt.Printf("contigs: %s\n", res.ContigStats.String())
 	fmt.Printf("aligned read fraction: %.3f\n", res.AlignedReadFrac)
+	for _, rs := range res.ScaffoldRounds {
+		fmt.Printf("scaffolding round %-20s insert=%d contigs_in=%d scaffolds=%d links=%d\n",
+			rs.Library, rs.InsertSize, rs.InputContigs, rs.Scaffolds, rs.AcceptedLinks)
+	}
 	fmt.Printf("simulated parallel time: %.3fs on %d ranks (%d virtual nodes); wall time %.3fs\n",
 		res.SimSeconds, *ranks, (*ranks+*ranksPerNode-1)/(*ranksPerNode), res.WallSeconds)
 	fmt.Println("stage breakdown (simulated seconds):")

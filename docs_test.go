@@ -1,0 +1,110 @@
+package mhmgo_test
+
+// Documentation integrity checks, run by the CI docs job: every relative
+// markdown link in the project documents must resolve to a file in the
+// repository, and every example program must carry a doc comment naming
+// what it demonstrates.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the project documents whose links must stay valid.
+var docFiles = []string{"README.md", "DESIGN.md", "TUTORIAL.md", "PAPER.md", "ROADMAP.md", "CHANGES.md"}
+
+// mdLink matches inline markdown links [text](target). Reference-style
+// links are not used in this repository.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve verifies that every relative link in the project
+// markdown files points at an existing file.
+func TestDocsLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v (README/DESIGN/TUTORIAL/PAPER must exist)", doc, err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external links are not checked offline
+			}
+			// Strip an in-file anchor; a bare anchor refers to this file.
+			if i := strings.Index(target, "#"); i >= 0 {
+				target = target[:i]
+				if target == "" {
+					continue
+				}
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s: broken relative link %q", doc, m[1])
+			}
+		}
+	}
+}
+
+// TestDocsRequiredCrossLinks pins the documentation topology: the README
+// must lead readers to the tutorial and the paper map, and the tutorial
+// must point back into the design notes.
+func TestDocsRequiredCrossLinks(t *testing.T) {
+	requirements := map[string][]string{
+		"README.md":   {"TUTORIAL.md", "DESIGN.md", "PAPER.md"},
+		"TUTORIAL.md": {"DESIGN.md", "PAPER.md"},
+		"PAPER.md":    {"DESIGN.md", "TUTORIAL.md"},
+	}
+	for doc, wants := range requirements {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, want := range wants {
+			if !strings.Contains(string(data), want) {
+				t.Errorf("%s must reference %s", doc, want)
+			}
+		}
+	}
+}
+
+// TestExamplesHaveDocComments verifies every example program opens with a
+// doc comment naming what it demonstrates.
+func TestExamplesHaveDocComments(t *testing.T) {
+	mains, err := filepath.Glob("examples/*/main.go")
+	if err != nil || len(mains) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, path := range mains {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(string(data), "\n")
+		if len(lines) == 0 || !strings.HasPrefix(lines[0], "// ") {
+			t.Errorf("%s must open with a doc comment naming what it demonstrates", path)
+			continue
+		}
+		// The comment must be a doc comment: contiguous with `package main`.
+		pkgLine := -1
+		for i, l := range lines {
+			if strings.HasPrefix(l, "package ") {
+				pkgLine = i
+				break
+			}
+		}
+		if pkgLine < 1 {
+			t.Errorf("%s: no package clause found", path)
+			continue
+		}
+		for i := 0; i < pkgLine; i++ {
+			if strings.TrimSpace(lines[i]) == "" || !strings.HasPrefix(lines[i], "//") {
+				t.Errorf("%s: the opening comment is not a doc comment (blank or non-comment line %d before the package clause)", path, i+1)
+				break
+			}
+		}
+	}
+}

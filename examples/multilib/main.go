@@ -1,0 +1,65 @@
+// Multi-library round-based scaffolding: simulate a community sequenced
+// with a short-insert (300 bp) paired-end library plus a long-insert
+// (1500 bp) jumping library, assemble it with one scaffolding round per
+// library (ascending insert size, each round's scaffolds re-entering as the
+// next round's contigs), and compare against the legacy single-library
+// treatment of the same reads — the scenario TUTORIAL.md walks through.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mhmgo"
+)
+
+func main() {
+	// 1. A community whose genomes are long enough for a 1500 bp jumping
+	//    library to span real gaps.
+	commCfg := mhmgo.DefaultCommunityConfig()
+	commCfg.NumGenomes = 4
+	commCfg.MeanGenomeLen = 12000
+	comm := mhmgo.SimulateCommunity(commCfg)
+
+	// 2. Two libraries: pe300 carries 75% of the coverage, mp1500 the rest.
+	readCfg := mhmgo.TwoLibraryReadConfig(16, 5)
+	reads := mhmgo.SimulateReads(comm, readCfg)
+	norm := readCfg.Normalized()
+	fmt.Printf("community: %d genomes, %d bases; %d reads across %d libraries\n",
+		len(comm.Genomes), comm.TotalBases(), len(reads), len(norm.Libraries))
+
+	// 3. Assemble with a library list matching the simulation (same order,
+	//    same geometry): scaffolding runs one round per library.
+	cfg := mhmgo.DefaultConfig(8)
+	for _, lib := range norm.Libraries {
+		cfg.Libraries = append(cfg.Libraries, mhmgo.Library{
+			Name: lib.Name, ReadLen: lib.ReadLen,
+			InsertSize: lib.InsertSize, InsertStd: lib.InsertStd,
+		})
+	}
+	multiRes, err := mhmgo.Assemble(reads, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range multiRes.ScaffoldRounds {
+		fmt.Printf("round %-8s insert=%-5d contigs_in=%-4d scaffolds=%-4d links=%d\n",
+			r.Library, r.InsertSize, r.InputContigs, r.Scaffolds, r.AcceptedLinks)
+	}
+
+	// 4. The legacy baseline: the same reads with the one-library shorthand,
+	//    which applies the 300 bp geometry to every pair (the jumping pairs'
+	//    gap estimates come out wrong, poisoning the link table).
+	base := mhmgo.DefaultConfig(8)
+	base.InsertSize, base.InsertStd = 300, 30
+	baseRes, err := mhmgo.Assemble(reads, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	multiRep := mhmgo.Evaluate("two libraries", multiRes.FinalSequences(), comm)
+	baseRep := mhmgo.Evaluate("single library", baseRes.FinalSequences(), comm)
+	fmt.Printf("%-16s scaffolds=%-4d N50=%-6d genome fraction=%.1f%%\n",
+		"single library", len(baseRes.Scaffolds), baseRep.N50, 100*baseRep.GenomeFraction)
+	fmt.Printf("%-16s scaffolds=%-4d N50=%-6d genome fraction=%.1f%%\n",
+		"two libraries", len(multiRes.Scaffolds), multiRep.N50, 100*multiRep.GenomeFraction)
+}

@@ -1,6 +1,7 @@
-// Quickstart: simulate a tiny metagenome, assemble it with the default
-// MetaHipMer-Go pipeline, and print quality metrics against the known
-// references.
+// Quickstart demonstrates the minimal library workflow from README.md:
+// simulate a tiny metagenome, assemble it with the default MetaHipMer-Go
+// pipeline on a virtual PGAS machine, and print quality metrics against the
+// known references. Start here; TUTORIAL.md walks through the longer tour.
 package main
 
 import (

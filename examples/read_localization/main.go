@@ -1,7 +1,8 @@
-// Read localization study: run the pipeline with and without the
-// read-localization optimization (Section II-I of the paper) and show its
-// effect on the k-mer analysis and alignment stages — the workload behind
-// Figure 3.
+// Read_localization demonstrates the paper's Figure 3 ablation: run the
+// pipeline with and without the read-localization optimization (Section
+// II-I — redistribute reads onto the ranks owning the contigs they align
+// to) and show its effect on the simulated time of the k-mer analysis and
+// alignment stages as node counts grow.
 package main
 
 import (

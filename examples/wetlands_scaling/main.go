@@ -1,6 +1,7 @@
-// Wetlands strong scaling: assemble a fixed, uneven (soil-like) community on
-// increasing virtual node counts and print the scaling curve and per-stage
-// runtime breakdown — the workload behind the paper's Figures 4 and 5.
+// Wetlands_scaling demonstrates the paper's Figures 4 and 5: assemble a
+// fixed, uneven (soil-like) community on increasing virtual node counts and
+// print the strong-scaling curve (speedup and efficiency in simulated
+// seconds) plus the per-stage runtime breakdown.
 package main
 
 import (

@@ -30,6 +30,7 @@ type SeedHit struct {
 type Alignment struct {
 	ReadIdx   int // index of the read in the caller's read ordering
 	ReadID    string
+	LibID     uint8 // library tag copied from the read (seq.Read.LibID)
 	ContigID  int
 	ContigLen int // length of the aligned contig, recorded at extension time
 	ContigPos int // start of the read projection on the contig (may be negative)
@@ -40,9 +41,9 @@ type Alignment struct {
 }
 
 // WireSize returns the wire bytes charged when an alignment is routed or
-// gathered: seven coordinate words, the orientation flag and the read
-// identifier.
-func (a Alignment) WireSize() int { return 57 + len(a.ReadID) }
+// gathered: seven coordinate words, the orientation flag, the library tag
+// and the read identifier.
+func (a Alignment) WireSize() int { return 58 + len(a.ReadID) }
 
 // Identity returns the fraction of aligned bases that match.
 func (a Alignment) Identity() float64 {
@@ -69,6 +70,13 @@ type Options struct {
 	// MaxHitsPerSeed skips seeds that occur in more than this many contig
 	// positions (repeat seeds), 0 means no limit.
 	MaxHitsPerSeed int
+	// OnlyLib, when non-nil, aligns only the reads whose LibID matches:
+	// the round-based scaffolder aligns one library per round against that
+	// round's contig set and skips the others' reads entirely (their
+	// alignments would be discarded, and alignment is independent per
+	// read, so skipping changes cost but never results). Nil aligns every
+	// read.
+	OnlyLib *uint8
 }
 
 // DefaultOptions returns the aligner defaults for the given seed length.
@@ -140,8 +148,12 @@ type AlignStats struct {
 
 // AlignReads aligns the calling rank's block of reads against the index and
 // returns the best alignment found for each read that aligns (at most one
-// per read). Collective only in the sense that the seed index is shared; the
-// work itself is independent per rank.
+// per read). Each alignment carries its read's library tag, and
+// Options.OnlyLib restricts a pass to one library's reads — the round-based
+// scaffolder uses this to align exactly the reads whose links it will
+// consume against each round's contig set, instead of aligning everything
+// and discarding the other libraries' output. Collective only in the sense
+// that the seed index is shared; the work itself is independent per rank.
 func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts Options) ([]Alignment, AlignStats) {
 	if opts.SeedLen <= 0 {
 		opts.SeedLen = idx.SeedLen
@@ -165,12 +177,17 @@ func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts
 	}
 	creader := idx.Contigs.NewReader(r, contigCache)
 	var out []Alignment
-	stats := AlignStats{ReadsTotal: len(reads)}
+	var stats AlignStats
 	for i, read := range reads {
+		if opts.OnlyLib != nil && read.LibID != *opts.OnlyLib {
+			continue
+		}
+		stats.ReadsTotal++
 		best, found := alignOne(r, idx, reader, creader, read, opts)
 		if found {
 			best.ReadIdx = readOffset + i
 			best.ReadID = read.ID
+			best.LibID = read.LibID
 			out = append(out, best)
 		}
 	}

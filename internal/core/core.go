@@ -56,7 +56,19 @@ type Config struct {
 	ErrorRate float64
 	GlobalTHQ uint32
 
-	// Library geometry (used by local assembly and scaffolding).
+	// Library geometry. Libraries lists the paired-end libraries of the
+	// input reads, in the order their LibID tags index (seq.Read.LibID = i
+	// refers to Libraries[i] — match the order the reads were simulated or
+	// loaded with). Scaffolding runs one round per library in ascending
+	// insert-size order, splicing each round's scaffolds back in as the
+	// next round's contigs; local assembly widens its recruitment radius
+	// per library.
+	//
+	// The legacy InsertSize/InsertStd pair remains a fully backward
+	// compatible one-library shorthand: when Libraries is empty it is
+	// promoted to a single-entry list, and a one-library config produces
+	// byte-identical output to the pre-multi-library pipeline.
+	Libraries  []seq.Library
 	InsertSize int
 	InsertStd  int
 
@@ -104,8 +116,8 @@ func DefaultConfig(ranks int) Config {
 		UseBloom:         true,
 		TBase:            2,
 		ErrorRate:        0.015,
-		InsertSize:       280,
-		InsertStd:        25,
+		InsertSize:       seq.DefaultInsertSize,
+		InsertStd:        seq.DefaultInsertStd,
 		Aggregate:        true,
 		SoftwareCache:    true,
 		ReadLocalization: true,
@@ -147,12 +159,53 @@ func (c Config) withDefaults() Config {
 		c.TBase = 2
 	}
 	if c.InsertSize <= 0 {
-		c.InsertSize = 280
+		c.InsertSize = seq.DefaultInsertSize
 	}
 	if c.InsertStd <= 0 {
 		c.InsertStd = c.InsertSize / 10
 	}
+	// The legacy single-library shorthand: an empty library list is one
+	// library with the flat InsertSize/InsertStd geometry. Explicit lists
+	// get the same per-entry defaulting.
+	if len(c.Libraries) == 0 {
+		c.Libraries = []seq.Library{{Name: "pe", InsertSize: c.InsertSize, InsertStd: c.InsertStd}}
+	} else {
+		libs := append([]seq.Library(nil), c.Libraries...)
+		for i := range libs {
+			if libs[i].Name == "" {
+				libs[i].Name = fmt.Sprintf("lib%d", i)
+			}
+			if libs[i].InsertSize <= 0 {
+				libs[i].InsertSize = seq.DefaultInsertSize
+			}
+			if libs[i].InsertStd <= 0 {
+				libs[i].InsertStd = libs[i].InsertSize / 10
+			}
+		}
+		c.Libraries = libs
+	}
 	return c
+}
+
+// scaffoldOrder returns the library indices in scaffolding-round order:
+// ascending insert size, ties broken by name and then by index, so the round
+// schedule is a pure function of the library list.
+func scaffoldOrder(libs []seq.Library) []int {
+	order := make([]int, len(libs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := libs[order[a]], libs[order[b]]
+		if la.InsertSize != lb.InsertSize {
+			return la.InsertSize < lb.InsertSize
+		}
+		if la.Name != lb.Name {
+			return la.Name < lb.Name
+		}
+		return order[a] < order[b]
+	})
+	return order
 }
 
 // KValues returns the k values of the iterative contig generation.
@@ -201,6 +254,29 @@ type Result struct {
 	ScaffoldStats    scaffold.Stats
 	CacheHitRate     float64
 	ReadsLocalizedTo int
+	// ScaffoldRounds records one entry per scaffolding round, in execution
+	// order (ascending library insert size). A single-library assembly has
+	// exactly one round.
+	ScaffoldRounds []RoundStats
+}
+
+// RoundStats summarizes one scaffolding round: which library drove it and
+// what it consumed and produced. A round's scaffolds re-enter the next round
+// as its contigs, so InputContigs of round i+1 reflects (deduplicated)
+// Scaffolds of round i.
+type RoundStats struct {
+	// Library is the library's name; LibIndex its position in
+	// Config.Libraries (the LibID the round's alignments were filtered by).
+	Library  string
+	LibIndex int
+	// InsertSize is the library geometry the round scaffolded with.
+	InsertSize int
+	// InputContigs is the global contig count entering the round; Scaffolds
+	// the global scaffold count it produced; AcceptedLinks the accepted
+	// contig-graph edges of the round.
+	InputContigs  int
+	Scaffolds     int
+	AcceptedLinks int
 }
 
 // FinalSequences returns the assembly output: scaffold sequences when
@@ -232,6 +308,9 @@ func Assemble(reads []seq.Read, cfg Config) (*Result, error) {
 	if len(reads) == 0 {
 		return nil, fmt.Errorf("core: no reads to assemble")
 	}
+	if len(cfg.Libraries) > 256 {
+		return nil, fmt.Errorf("core: %d libraries exceed the 256 the uint8 LibID tag can address", len(cfg.Libraries))
+	}
 
 	machine := pgas.NewMachine(pgas.Config{Ranks: cfg.Ranks, RanksPerNode: cfg.RanksPerNode, Cost: cfg.Cost, CostSet: cfg.CostSet})
 	res := &Result{TotalReads: len(reads)}
@@ -252,6 +331,7 @@ func Assemble(reads []seq.Read, cfg Config) (*Result, error) {
 	res.Contigs = out.contigs
 	res.Scaffolds = out.scaffolds
 	res.ScaffoldSummary = out.scaffoldResult
+	res.ScaffoldRounds = out.scaffoldRounds
 	res.DistinctKmers = out.distinctKmers
 	res.HeavyHitterMax = out.heavyHitterMax
 	res.AlignedReadFrac = out.alignedFrac
@@ -267,11 +347,28 @@ type rankOutput struct {
 	contigs        []dbg.Contig
 	scaffolds      []scaffold.Scaffold
 	scaffoldResult scaffold.Result
+	scaffoldRounds []RoundStats
 	distinctKmers  int
 	heavyHitterMax int64
 	alignedFrac    float64
 	localAsmBases  int
 	cacheHitRate   float64
+}
+
+// accumulateScaffoldResult folds one round's counters into the assembly-wide
+// scaffold summary (counters are summed over rounds; the final round's
+// scaffold list is attached by the caller).
+func accumulateScaffoldResult(total *scaffold.Result, round scaffold.Result) {
+	total.SplintLinks += round.SplintLinks
+	total.SpanLinks += round.SpanLinks
+	total.AcceptedLinks += round.AcceptedLinks
+	total.RepeatsSuspended += round.RepeatsSuspended
+	total.Components += round.Components
+	total.RRNAHits += round.RRNAHits
+	total.GapsTotal += round.GapsTotal
+	total.GapsClosed += round.GapsClosed
+	total.Scaffolds = round.Scaffolds
+	total.Local = round.Local
 }
 
 // runPipeline is the SPMD body executed by every rank.
@@ -369,6 +466,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 			st = r.StageStart()
 			lopts := localasm.DefaultOptions(k)
 			lopts.WorkStealing = cfg.WorkStealing
+			lopts.Libraries = cfg.Libraries
 			lres := localasm.Run(r, cset, myReads, readOffset, aligns, lopts)
 			out.localAsmBases = lres.ExtendedBases
 			r.StageEnd(StageLocalAssembly, st)
@@ -392,21 +490,69 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 		dbg.RenumberContigs(r, cset)
 	}
 
-	// Scaffolding (Algorithm 3).
+	// Scaffolding (Algorithm 3), one round per library in ascending
+	// insert-size order. Each round aligns its own library's reads (by the
+	// LibID tag) against the current contig set; an intermediate round's
+	// scaffolds are spliced back in as the next round's contigs
+	// (content-hash deduplicated, canonically owned), so longer-insert
+	// libraries link the structures the shorter ones built.
+	// With one library the loop degenerates to exactly the legacy
+	// single-round flow.
 	if cfg.Scaffolding {
 		st := r.StageStart()
 		finalK := ks[len(ks)-1]
-		aopts := aligner.DefaultOptions(minInt(finalK, 31))
-		aopts.UseCache = cfg.SoftwareCache
-		idx := aligner.BuildIndex(r, cset, aopts)
-		aligns, _ := aligner.AlignReads(r, idx, myReads, readOffset, aopts)
-		sopts := scaffold.DefaultOptions(finalK, cfg.InsertSize)
-		sopts.Aggregate = cfg.Aggregate
-		sopts.UseComponents = cfg.UseComponents
-		sopts.RRNAProfile = cfg.RRNAProfile
-		sres := scaffold.Run(r, cset, myReads, readOffset, aligns, sopts)
-		out.scaffolds = sres.Scaffolds
-		out.scaffoldResult = sres
+		order := scaffoldOrder(cfg.Libraries)
+		for ri, li := range order {
+			lib := cfg.Libraries[li]
+			inputContigs := cset.GlobalLen(r)
+			aopts := aligner.DefaultOptions(minInt(finalK, 31))
+			aopts.UseCache = cfg.SoftwareCache
+			if len(order) > 1 {
+				// Align only this round's library: the other libraries'
+				// alignments would be discarded, and alignment is
+				// independent per read, so the restriction changes charged
+				// work but never output.
+				roundLib := uint8(li)
+				aopts.OnlyLib = &roundLib
+			}
+			idx := aligner.BuildIndex(r, cset, aopts)
+			aligns, _ := aligner.AlignReads(r, idx, myReads, readOffset, aopts)
+			sopts := scaffold.DefaultOptions(finalK, lib.InsertSize)
+			if lib.InsertStd > 0 {
+				sopts.InsertStd = lib.InsertStd
+			}
+			sopts.Aggregate = cfg.Aggregate
+			sopts.UseComponents = cfg.UseComponents
+			sopts.RRNAProfile = cfg.RRNAProfile
+			last := ri == len(order)-1
+			sopts.SkipEmit = !last
+			sres := scaffold.Run(r, cset, myReads, readOffset, aligns, sopts)
+			nScaffolds := pgas.AllReduce(r, len(sres.Local), pgas.ReduceSum)
+			out.scaffoldRounds = append(out.scaffoldRounds, RoundStats{
+				Library:       lib.Name,
+				LibIndex:      li,
+				InsertSize:    lib.InsertSize,
+				InputContigs:  inputContigs,
+				Scaffolds:     nScaffolds,
+				AcceptedLinks: sres.AcceptedLinks,
+			})
+			accumulateScaffoldResult(&out.scaffoldResult, sres)
+			if last {
+				out.scaffolds = sres.Scaffolds
+				break
+			}
+			// Splice this round's scaffolds back in as the next round's
+			// contigs. The scaffold sequences are fresh buffers independent
+			// of the old set's storage, so the replaced set's resident bytes
+			// are returned before the exchange materializes the new one —
+			// the peak meter never holds both contig generations at once.
+			local := make([]dbg.Contig, 0, len(sres.Local))
+			for _, s := range sres.Local {
+				local = append(local, dbg.Contig{Seq: s.Seq})
+			}
+			cset.Release(r)
+			cset = dbg.DistributeContigs(r, local, mode)
+		}
 		r.StageEnd(StageScaffolding, st)
 	}
 

@@ -6,6 +6,13 @@
 //
 // The paper runs the external metaQUAST 4.3 tool; since the references here
 // are the simulator's own genomes, the same metrics are computed directly.
+//
+// Evaluation is purely content-based: it scores whatever sequences it is
+// given against the reference genomes, so the same Evaluate call compares
+// contigs against scaffolds, single-library against multi-library
+// round-based assemblies (see BenchmarkMultiLibraryScaffolding and
+// examples/multilib), or MetaHipMer against the baseline proxies — the
+// read set's library structure never enters the computation.
 package eval
 
 import (

@@ -44,6 +44,15 @@ type Options struct {
 	// EndWindow recruits reads aligned within this many bases of a contig
 	// end (plus projected mates).
 	EndWindow int
+	// Libraries, when non-empty, widens the recruitment window per library:
+	// a read from library L is recruited within EndWindow +
+	// (L.InsertSize - minInsert)/2 of a contig end, where minInsert is the
+	// smallest insert size across the libraries. A long-insert read whose
+	// mate lies far beyond the contig end is still useful for extension and
+	// gap closing, so its recruitment radius scales with the library's
+	// geometry; with zero or one library the window is exactly EndWindow
+	// (the legacy behavior).
+	Libraries []seq.Library
 	// WorkStealing enables the dynamic work-stealing scheduler; when false
 	// contigs are statically block-partitioned (ablation mode).
 	WorkStealing bool
@@ -130,12 +139,20 @@ func Run(r *pgas.Rank, cs *dbg.ContigSet, reads []seq.Read, readOffset int, alig
 	// extend past the end. Recruits are routed to the contig's owner rank
 	// with one aggregated exchange (use case 4, "Local Reads & Writes") —
 	// the owner-routed replacement of the old replicated read pool.
+	// Per-library recruitment radius: EndWindow plus half the library's
+	// insert-size excess over the shortest library (zero for single-library
+	// inputs, so legacy behavior is bit-preserved).
+	libWindow := libraryWindows(opts)
 	var recs []recruit
 	for _, a := range alignments {
+		w := opts.EndWindow
+		if int(a.LibID) < len(libWindow) {
+			w = libWindow[a.LibID]
+		}
 		// The contig length rides along in the alignment record (set at
 		// extension time), so end-proximity needs no remote fetch.
-		nearStart := a.ContigPos <= opts.EndWindow
-		nearEnd := a.ContigPos+a.AlignLen >= a.ContigLen-opts.EndWindow
+		nearStart := a.ContigPos <= w
+		nearEnd := a.ContigPos+a.AlignLen >= a.ContigLen-w
 		if !nearStart && !nearEnd {
 			continue
 		}
@@ -274,6 +291,30 @@ func Run(r *pgas.Rank, cs *dbg.ContigSet, reads []seq.Read, readOffset int, alig
 	res.Steals = pgas.AllReduce(r, steals, pgas.ReduceSum)
 	r.Barrier()
 	return res
+}
+
+// libraryWindows returns the per-library recruitment window (indexed by
+// LibID), or nil when no library list was provided (every read then uses
+// opts.EndWindow).
+func libraryWindows(opts Options) []int {
+	if len(opts.Libraries) == 0 {
+		return nil
+	}
+	minInsert := opts.Libraries[0].InsertSize
+	for _, lib := range opts.Libraries[1:] {
+		if lib.InsertSize < minInsert {
+			minInsert = lib.InsertSize
+		}
+	}
+	out := make([]int, len(opts.Libraries))
+	for i, lib := range opts.Libraries {
+		extra := (lib.InsertSize - minInsert) / 2
+		if extra < 0 {
+			extra = 0
+		}
+		out[i] = opts.EndWindow + extra
+	}
+	return out
 }
 
 // extendContig mer-walks both ends of a contig using the recruited reads and

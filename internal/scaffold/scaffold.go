@@ -15,6 +15,14 @@
 // scaffolds stay distributed until a single rank-ordered emit on rank 0.
 // The only per-contig state every rank holds is the integer component label
 // array; no rank materializes the full link, contig or scaffold payloads.
+//
+// Run performs ONE round of scaffolding for ONE paired-end library (its
+// geometry in Options.InsertSize/InsertStd). Multi-library assemblies —
+// HipMer/MetaHipMer inputs combine libraries of increasing insert size —
+// are driven by internal/core, which calls Run once per library in
+// ascending insert-size order, splicing each round's scaffolds back in as
+// the next round's contigs (Options.SkipEmit / Result.Local carry the
+// intermediate rounds' output between rounds without materializing it).
 package scaffold
 
 import (
@@ -60,6 +68,13 @@ type Options struct {
 	// paper's parallelization); false serializes traversal on rank 0 (for
 	// the ablation study).
 	UseComponents bool
+	// SkipEmit leaves Result.Scaffolds nil: the finished scaffolds stay
+	// distributed and each rank receives its own shard in Result.Local
+	// (with unassigned IDs). The multi-library round loop sets it for every
+	// round but the last, because an intermediate round's scaffolds are
+	// consumed as the next round's contigs (dbg.DistributeContigs assigns
+	// canonical ownership and IDs) rather than materialized on rank 0.
+	SkipEmit bool
 }
 
 // DefaultOptions returns scaffolding defaults for assembly k and library
@@ -97,9 +112,12 @@ func (s Scaffold) WireSize() int { return 32 + len(s.Seq) + 8*len(s.ContigIDs) }
 
 // Result reports the outcome of scaffolding. Scaffolds is the final,
 // deterministically ordered scaffold list materialized on rank 0 only (nil
-// on every other rank); the counters are identical on every rank.
+// on every other rank); Local is the calling rank's own shard (always set;
+// the only output when Options.SkipEmit is true); the counters are
+// identical on every rank.
 type Result struct {
 	Scaffolds        []Scaffold
+	Local            []Scaffold
 	SplintLinks      int
 	SpanLinks        int
 	AcceptedLinks    int
@@ -195,7 +213,7 @@ func endAndDistance(a aligner.Alignment, contigLen int) (end byte, dist int) {
 // rank and Result.Scaffolds is materialized on rank 0.
 func Run(r *pgas.Rank, cs *dbg.ContigSet, reads []seq.Read, readOffset int, alignments []aligner.Alignment, opts Options) Result {
 	if opts.InsertSize <= 0 {
-		opts.InsertSize = 300
+		opts.InsertSize = seq.DefaultInsertSize
 	}
 	if opts.MinLinkSupport <= 0 {
 		opts.MinLinkSupport = 2
@@ -507,6 +525,16 @@ func Run(r *pgas.Rank, cs *dbg.ContigSet, reads []seq.Read, readOffset int, alig
 	// single rank-ordered emit materializes the output on rank 0 only, where
 	// it is put into the deterministic global order. Only the summary
 	// counters above were all-reduced; no gather-to-all anywhere.
+	// With SkipEmit the scaffolds stay exactly where traversal produced
+	// them: the caller consumes each rank's Local shard (an intermediate
+	// multi-library round feeds it straight into dbg.DistributeContigs,
+	// which assigns canonical ownership and IDs), so neither the global
+	// renumbering nor the rank-0 emit is performed or charged.
+	if opts.SkipEmit {
+		res.Local = localScaffolds
+		r.Barrier()
+		return res
+	}
 	// The scaffolds are already owner-placed on the rank that traversed
 	// their component; stamp that rank into the provisional ID so the owner
 	// function is a pure function of the item (Renumber overwrites it).
@@ -517,6 +545,7 @@ func Run(r *pgas.Rank, cs *dbg.ContigSet, reads []seq.Read, readOffset int, alig
 		func(s Scaffold) int { return s.ID },
 		Scaffold.WireSize, mode)
 	sset.Renumber(r, func(i, id int) { sset.Local(r)[i].ID = id })
+	res.Local = sset.Local(r)
 	merged := sset.Emit(r)
 	if merged != nil {
 		sort.Slice(merged, func(i, j int) bool {

@@ -120,6 +120,10 @@ type Read struct {
 	ID   string
 	Seq  []byte
 	Qual []byte
+	// LibID identifies the paired-end library the read was sequenced from
+	// (an index into the assembly configuration's library list). Reads from
+	// a single-library source carry the zero value.
+	LibID uint8
 }
 
 // Len returns the read length in bases.
@@ -127,8 +131,8 @@ func (r *Read) Len() int { return len(r.Seq) }
 
 // WireSize returns the wire bytes charged when a read is shipped between
 // ranks (read localization, recruitment): identifier, sequence and quality
-// payloads plus two length words of framing.
-func (r Read) WireSize() int { return 16 + len(r.ID) + len(r.Seq) + len(r.Qual) }
+// payloads plus two length words of framing and the library tag.
+func (r Read) WireSize() int { return 17 + len(r.ID) + len(r.Seq) + len(r.Qual) }
 
 // Validate checks internal consistency of the read.
 func (r *Read) Validate() error {
@@ -157,7 +161,25 @@ type ReadPair struct {
 	Rev Read
 }
 
-// Library describes a paired-end read library.
+// DefaultInsertSize and DefaultInsertStd are the project-wide defaults for
+// paired-end library geometry. Every layer that needs a fallback insert size
+// — core.DefaultConfig, scaffold.Run's zero-value guard, sim's read
+// simulator, cmd/mhm's flag default — references these constants, so the
+// assembler's assumption and the simulator's output cannot drift apart.
+// (They previously did: scaffolding fell back to 300 while the pipeline
+// default was 280.) The std is its own constant, not DefaultInsertSize/10:
+// the insert/10 rule is the derivation heuristic applied when a caller
+// supplies an explicit insert size without a std.
+const (
+	DefaultInsertSize = 280
+	DefaultInsertStd  = 25
+)
+
+// Library describes one paired-end read library: its name, the read length,
+// and the fragment (insert) geometry. A multi-library assembly lists its
+// libraries in core.Config.Libraries, and every Read carries the index of
+// the library it came from in Read.LibID; scaffolding runs one round per
+// library in ascending insert-size order.
 type Library struct {
 	Name       string
 	ReadLen    int

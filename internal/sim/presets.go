@@ -42,6 +42,26 @@ func MG64LikeReads(c *Community, coverage float64, seed int64) ReadConfig {
 	}
 }
 
+// TwoLibraryReadConfig returns the paper-style two-library read
+// configuration: a short-insert (300 bp) paired-end library carrying most of
+// the coverage plus a long-insert (1500 bp) jumping library that contributes
+// long-range links for the second scaffolding round. HipMer/MetaHipMer
+// inputs combine libraries of increasing insert size exactly like this; pair
+// the simulated reads with an assembly Config whose Libraries list matches
+// (same order, same geometry).
+func TwoLibraryReadConfig(coverage float64, seed int64) ReadConfig {
+	return ReadConfig{
+		ReadLen:   100,
+		ErrorRate: 0.01,
+		Coverage:  coverage,
+		Seed:      seed,
+		Libraries: []LibraryConfig{
+			{Name: "pe300", InsertSize: 300, InsertStd: 30, CoverageShare: 0.75},
+			{Name: "mp1500", InsertSize: 1500, InsertStd: 150, CoverageShare: 0.25},
+		},
+	}
+}
+
 // WetlandsLikeCommunity returns a community standing in for the Twitchell
 // Wetlands soil sample: many organisms with a heavily skewed abundance
 // distribution, so a fixed sequencing budget leaves many genomes at low

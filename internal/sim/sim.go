@@ -211,36 +211,91 @@ func GenerateCommunity(cfg CommunityConfig) *Community {
 	return c
 }
 
+// LibraryConfig describes one paired-end library of a multi-library read
+// simulation: HipMer/MetaHipMer data sets combine several libraries of
+// increasing insert size (e.g. a 300 bp paired-end library plus a 1500 bp
+// mate-pair-like library), and the scaffolder consumes them in rounds.
+type LibraryConfig struct {
+	// Name labels the library (defaults to "libN" for the N-th entry).
+	Name string
+	// ReadLen is the length of each read of a pair; 0 inherits the parent
+	// ReadConfig.ReadLen.
+	ReadLen int
+	// InsertSize and InsertStd describe this library's fragment-length
+	// distribution. InsertSize is clamped to 2*ReadLen (see
+	// ReadConfig.Normalized).
+	InsertSize int
+	InsertStd  int
+	// CoverageShare is this library's fraction of the total coverage (or
+	// TotalPairs) budget. Shares are normalized to sum to 1. A zero share
+	// means "unset", not "no reads": unset libraries split the budget the
+	// set shares left unclaimed (or, if nothing is left, receive the mean
+	// of the set shares before normalization); if every share is zero the
+	// budget is split evenly.
+	CoverageShare float64
+	// Seed seeds this library's generator; 0 derives a distinct seed from
+	// the parent ReadConfig.Seed and the library index.
+	Seed int64
+}
+
 // ReadConfig controls paired-end read simulation (WGSim-like).
 type ReadConfig struct {
 	// ReadLen is the length of each read of a pair.
 	ReadLen int
-	// InsertSize and InsertStd describe the fragment-length distribution.
+	// InsertSize and InsertStd describe the fragment-length distribution of
+	// the (single) library. When Libraries is non-empty they are ignored and
+	// each LibraryConfig supplies its own geometry.
 	InsertSize int
 	InsertStd  int
 	// ErrorRate is the per-base substitution error probability.
 	ErrorRate float64
 	// Coverage is the mean fold-coverage of the community (weighted by
-	// abundance); TotalPairs overrides it when > 0.
+	// abundance); TotalPairs overrides it when > 0. With Libraries set, the
+	// budget is divided between the libraries by CoverageShare.
 	Coverage   float64
 	TotalPairs int
+	// Libraries, when non-empty, switches the simulator to multi-library
+	// mode: each entry produces its own interleaved paired-end block (pairs
+	// at indices 2i and 2i+1 within the concatenated output), and every read
+	// is tagged with its library index in Read.LibID. An empty list is the
+	// single-library shorthand: ReadLen/InsertSize/InsertStd above describe
+	// library 0 and all reads carry LibID 0.
+	Libraries []LibraryConfig
 	// Seed seeds the deterministic generator.
 	Seed int64
 }
 
-// DefaultReadConfig returns a typical short-read configuration.
+// DefaultReadConfig returns a typical short-read configuration. The insert
+// geometry is seq.DefaultInsertSize ± seq.DefaultInsertStd — the same
+// defaults the assembler's Config assumes, so simulating with the defaults
+// and assembling with the defaults agree about the library.
 func DefaultReadConfig() ReadConfig {
 	return ReadConfig{
 		ReadLen:    100,
-		InsertSize: 300,
-		InsertStd:  30,
+		InsertSize: seq.DefaultInsertSize,
+		InsertStd:  seq.DefaultInsertStd,
 		ErrorRate:  0.01,
 		Coverage:   20,
 		Seed:       2,
 	}
 }
 
-func (cfg ReadConfig) withDefaults() ReadConfig {
+// Normalized returns the effective configuration SimulateReads will use,
+// with every default and clamp applied explicitly:
+//
+//   - zero fields take the DefaultReadConfig values;
+//   - InsertSize is clamped up to 2*ReadLen — a fragment cannot be shorter
+//     than the two reads sequenced from its ends — and the clamped value is
+//     visible in the returned config rather than applied silently;
+//   - each LibraryConfig inherits ReadLen, receives a "libN" name and an
+//     InsertSize/10 std where unset, gets the same 2*ReadLen clamp, and the
+//     CoverageShares are normalized to sum to 1 (an all-zero share list
+//     becomes an even split).
+//
+// SimulateReads calls it internally; callers that need to know the exact
+// effective geometry (e.g. to configure the assembler to match) should call
+// it themselves and read the result.
+func (cfg ReadConfig) Normalized() ReadConfig {
 	def := DefaultReadConfig()
 	if cfg.ReadLen <= 0 {
 		cfg.ReadLen = def.ReadLen
@@ -260,15 +315,99 @@ func (cfg ReadConfig) withDefaults() ReadConfig {
 	if cfg.Coverage <= 0 && cfg.TotalPairs <= 0 {
 		cfg.Coverage = def.Coverage
 	}
+	if len(cfg.Libraries) > 0 {
+		libs := append([]LibraryConfig(nil), cfg.Libraries...)
+		shareSum, unset := 0.0, 0
+		for i := range libs {
+			if libs[i].Name == "" {
+				libs[i].Name = fmt.Sprintf("lib%d", i)
+			}
+			if libs[i].ReadLen <= 0 {
+				libs[i].ReadLen = cfg.ReadLen
+			}
+			if libs[i].InsertSize <= 0 {
+				libs[i].InsertSize = seq.DefaultInsertSize
+			}
+			if libs[i].InsertSize < 2*libs[i].ReadLen {
+				libs[i].InsertSize = 2 * libs[i].ReadLen
+			}
+			if libs[i].InsertStd <= 0 {
+				libs[i].InsertStd = libs[i].InsertSize / 10
+			}
+			if libs[i].Seed == 0 {
+				libs[i].Seed = cfg.Seed + 1000003*int64(i+1)
+			}
+			if libs[i].CoverageShare <= 0 {
+				libs[i].CoverageShare = 0
+				unset++
+			}
+			shareSum += libs[i].CoverageShare
+		}
+		// A zero share means "unset": unset libraries split whatever the
+		// set shares left unclaimed, and if the set shares already claim
+		// everything, each unset library gets the mean set share so it can
+		// never silently simulate zero reads.
+		if unset > 0 {
+			fill := (1 - shareSum) / float64(unset)
+			if shareSum >= 1 {
+				fill = shareSum / float64(len(libs)-unset)
+			}
+			for i := range libs {
+				if libs[i].CoverageShare == 0 {
+					libs[i].CoverageShare = fill
+					shareSum += fill
+				}
+			}
+		}
+		for i := range libs {
+			libs[i].CoverageShare /= shareSum
+		}
+		cfg.Libraries = libs
+	}
 	return cfg
 }
 
 // SimulateReads generates paired-end reads from the community. The returned
 // slice interleaves pairs: reads 2i and 2i+1 are mates. Read IDs encode the
-// source genome, fragment start and mate index ("genome003:1523/1") so that
-// evaluation and debugging can trace reads back to their origin.
+// source genome, fragment start and pair index ("genome003:1523:7/1") so
+// that evaluation and debugging can trace reads back to their origin.
+//
+// With cfg.Libraries set, each library's block of pairs is generated in
+// sequence (pairing is preserved across the concatenation) and every read
+// carries its library index in Read.LibID; pair indices continue across
+// libraries so IDs stay globally unique. The effective geometry — including
+// the 2*ReadLen insert clamp — is cfg.Normalized().
 func SimulateReads(c *Community, cfg ReadConfig) []seq.Read {
-	cfg = cfg.withDefaults()
+	cfg = cfg.Normalized()
+	if len(cfg.Libraries) == 0 {
+		return simulateLibrary(c, cfg, 0, 0)
+	}
+	var reads []seq.Read
+	pairBase := 0
+	for i, lib := range cfg.Libraries {
+		libCfg := ReadConfig{
+			ReadLen:    lib.ReadLen,
+			InsertSize: lib.InsertSize,
+			InsertStd:  lib.InsertStd,
+			ErrorRate:  cfg.ErrorRate,
+			Seed:       lib.Seed,
+		}
+		if cfg.TotalPairs > 0 {
+			libCfg.TotalPairs = int(math.Round(float64(cfg.TotalPairs) * lib.CoverageShare))
+		} else {
+			libCfg.Coverage = cfg.Coverage * lib.CoverageShare
+		}
+		block := simulateLibrary(c, libCfg, uint8(i), pairBase)
+		pairBase += len(block) / 2
+		reads = append(reads, block...)
+	}
+	return reads
+}
+
+// simulateLibrary generates one library's interleaved pair block. cfg must
+// already be normalized; libID tags every read and pairBase offsets the pair
+// indices encoded into read IDs.
+func simulateLibrary(c *Community, cfg ReadConfig, libID uint8, pairBase int) []seq.Read {
 	r := rand.New(rand.NewSource(cfg.Seed))
 
 	// Effective bases weighted by abundance decide per-genome pair counts.
@@ -283,7 +422,7 @@ func SimulateReads(c *Community, cfg ReadConfig) []seq.Read {
 	}
 
 	var reads []seq.Read
-	pairIdx := 0
+	pairIdx := pairBase
 	for gi := range c.Genomes {
 		g := &c.Genomes[gi]
 		if len(g.Seq) < cfg.InsertSize+4*cfg.InsertStd+2 {
@@ -309,8 +448,8 @@ func SimulateReads(c *Community, cfg ReadConfig) []seq.Read {
 			rev, rq := applyErrors(r, seq.ReverseComplement(revSrc), cfg.ErrorRate)
 			idBase := fmt.Sprintf("%s:%d:%d", g.Name, start, pairIdx)
 			reads = append(reads,
-				seq.Read{ID: idBase + "/1", Seq: fwd, Qual: fq},
-				seq.Read{ID: idBase + "/2", Seq: rev, Qual: rq},
+				seq.Read{ID: idBase + "/1", Seq: fwd, Qual: fq, LibID: libID},
+				seq.Read{ID: idBase + "/2", Seq: rev, Qual: rq, LibID: libID},
 			)
 			pairIdx++
 		}

@@ -293,3 +293,161 @@ func TestWeakScalingSeries(t *testing.T) {
 		t.Errorf("default series wrong: %+v", s)
 	}
 }
+
+func TestNormalizedMakesClampExplicit(t *testing.T) {
+	// The insert-size clamp (a fragment cannot be shorter than its two
+	// reads) must be visible in the normalized config, not applied silently.
+	cfg := ReadConfig{ReadLen: 200, InsertSize: 250, Coverage: 5}
+	norm := cfg.Normalized()
+	if norm.InsertSize != 400 {
+		t.Errorf("InsertSize = %d after Normalized, want 400 (2*ReadLen)", norm.InsertSize)
+	}
+	// Libraries get the same clamp, and shares normalize to sum to 1.
+	cfg = ReadConfig{
+		ReadLen:  150,
+		Coverage: 5,
+		Libraries: []LibraryConfig{
+			{InsertSize: 200, CoverageShare: 3},
+			{InsertSize: 1500, CoverageShare: 1},
+		},
+	}
+	norm = cfg.Normalized()
+	if norm.Libraries[0].InsertSize != 300 {
+		t.Errorf("library 0 InsertSize = %d, want 300 (2*ReadLen)", norm.Libraries[0].InsertSize)
+	}
+	if norm.Libraries[1].InsertSize != 1500 {
+		t.Errorf("library 1 InsertSize = %d, want 1500 (unclamped)", norm.Libraries[1].InsertSize)
+	}
+	if got := norm.Libraries[0].CoverageShare; got != 0.75 {
+		t.Errorf("library 0 share = %v, want 0.75", got)
+	}
+	if norm.Libraries[0].Name != "lib0" || norm.Libraries[1].Name != "lib1" {
+		t.Errorf("library names = %q, %q", norm.Libraries[0].Name, norm.Libraries[1].Name)
+	}
+	// All-zero shares become an even split.
+	cfg.Libraries[0].CoverageShare, cfg.Libraries[1].CoverageShare = 0, 0
+	norm = cfg.Normalized()
+	if norm.Libraries[0].CoverageShare != 0.5 || norm.Libraries[1].CoverageShare != 0.5 {
+		t.Errorf("zero shares should split evenly: %+v", norm.Libraries)
+	}
+	// An unset share among set ones claims the remainder — it must never
+	// collapse to a zero-read library.
+	cfg.Libraries[0].CoverageShare, cfg.Libraries[1].CoverageShare = 0.75, 0
+	norm = cfg.Normalized()
+	if got := norm.Libraries[1].CoverageShare; math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("unset share should claim the 0.25 remainder, got %v", got)
+	}
+	// Even when the set shares already claim everything, an unset library
+	// still receives a nonzero (mean-set) share.
+	cfg.Libraries[0].CoverageShare, cfg.Libraries[1].CoverageShare = 2, 0
+	norm = cfg.Normalized()
+	if got := norm.Libraries[1].CoverageShare; got != 0.5 {
+		t.Errorf("unset share next to an over-claiming one should get the mean set share (0.5 after normalization), got %v", got)
+	}
+}
+
+func TestSimulateMultiLibraryReads(t *testing.T) {
+	cfg := DefaultCommunityConfig()
+	cfg.NumGenomes = 3
+	cfg.MeanGenomeLen = 9000
+	cfg.StrainFraction = 0
+	c := GenerateCommunity(cfg)
+	reads := SimulateReads(c, ReadConfig{
+		ReadLen:   80,
+		ErrorRate: 0.005,
+		Coverage:  10,
+		Seed:      9,
+		Libraries: []LibraryConfig{
+			{Name: "pe300", InsertSize: 300, InsertStd: 25, CoverageShare: 0.7},
+			{Name: "mp1500", InsertSize: 1500, InsertStd: 120, CoverageShare: 0.3},
+		},
+	})
+	if len(reads) == 0 || len(reads)%2 != 0 {
+		t.Fatalf("multi-library simulation produced %d reads", len(reads))
+	}
+	// Pairing is positional: mates share a library and an ID stem.
+	counts := map[uint8]int{}
+	ids := map[string]bool{}
+	for i := 0; i < len(reads); i += 2 {
+		a, b := reads[i], reads[i+1]
+		if a.LibID != b.LibID {
+			t.Fatalf("pair %d spans libraries %d and %d", i/2, a.LibID, b.LibID)
+		}
+		if a.ID[:len(a.ID)-2] != b.ID[:len(b.ID)-2] {
+			t.Fatalf("pair %d has mismatched IDs %q, %q", i/2, a.ID, b.ID)
+		}
+		if ids[a.ID] || ids[b.ID] {
+			t.Fatalf("duplicate read ID in pair %d (%q)", i/2, a.ID)
+		}
+		ids[a.ID], ids[b.ID] = true, true
+		counts[a.LibID] += 2
+	}
+	if len(counts) != 2 {
+		t.Fatalf("expected reads from 2 libraries, got %v", counts)
+	}
+	// The coverage budget should split roughly by share (same read length,
+	// so read counts follow the shares).
+	frac := float64(counts[0]) / float64(len(reads))
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("library 0 holds %.2f of the reads, want ~0.7", frac)
+	}
+	// Long-insert pairs really span their configured distance: simulate
+	// error-free and verify, per library, that each mate pair brackets a
+	// fragment of the configured length (±4 sigma) on its source genome —
+	// the failure mode this pins is one library's geometry being applied
+	// to another's fragments.
+	libs := []LibraryConfig{
+		{Name: "pe300", InsertSize: 300, InsertStd: 20, CoverageShare: 0.5},
+		{Name: "mp1500", InsertSize: 1500, InsertStd: 100, CoverageShare: 0.5},
+	}
+	perfect := SimulateReads(c, ReadConfig{
+		ReadLen: 60, ErrorRate: 0, Coverage: 4, Seed: 11, Libraries: libs,
+	})
+	placed, misplaced := map[uint8]int{}, map[uint8]int{}
+	for i := 0; i+1 < len(perfect); i += 2 {
+		a, b := perfect[i], perfect[i+1]
+		g := c.GenomeByName(SourceGenome(a.ID))
+		if g == nil {
+			t.Fatalf("read ID %q does not trace to a genome", a.ID)
+		}
+		// IDs encode "genome:start:pair/1"; recover the fragment start.
+		fields := strings.Split(a.ID, ":")
+		start := 0
+		for _, ch := range fields[1] {
+			start = start*10 + int(ch-'0')
+		}
+		if string(g.Seq[start:start+len(a.Seq)]) != string(a.Seq) {
+			t.Fatalf("pair %d: forward read is not at its recorded start %d", i/2, start)
+		}
+		lib := libs[a.LibID]
+		rcb := seq.ReverseComplement(b.Seq)
+		found := false
+		for frag := lib.InsertSize - 4*lib.InsertStd; frag <= lib.InsertSize+4*lib.InsertStd; frag++ {
+			if frag < 2*len(a.Seq) || start+frag > len(g.Seq) {
+				continue
+			}
+			if string(g.Seq[start+frag-len(b.Seq):start+frag]) == string(rcb) {
+				found = true
+				break
+			}
+		}
+		if found {
+			placed[a.LibID]++
+		} else {
+			misplaced[a.LibID]++
+		}
+	}
+	for libID, lib := range libs {
+		ok, bad := placed[uint8(libID)], misplaced[uint8(libID)]
+		if ok == 0 {
+			t.Fatalf("library %s produced no verifiable pairs", lib.Name)
+		}
+		// A small tail of fragments is clamped at genome/read-length
+		// boundaries; the overwhelming majority must sit in the library's
+		// own insert window.
+		if frac := float64(ok) / float64(ok+bad); frac < 0.95 {
+			t.Errorf("library %s: only %.2f of pairs span insert %d±4*%d",
+				lib.Name, frac, lib.InsertSize, lib.InsertStd)
+		}
+	}
+}

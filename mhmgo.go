@@ -31,12 +31,18 @@ type (
 	Result = core.Result
 	// Read is a sequencing read.
 	Read = seq.Read
+	// Library describes one paired-end library of a (possibly
+	// multi-library) assembly; see Config.Libraries.
+	Library = seq.Library
 	// Community is a simulated metagenome with known reference genomes.
 	Community = sim.Community
 	// CommunityConfig controls community simulation.
 	CommunityConfig = sim.CommunityConfig
 	// ReadConfig controls read simulation.
 	ReadConfig = sim.ReadConfig
+	// LibraryConfig describes one simulated library within a multi-library
+	// ReadConfig.
+	LibraryConfig = sim.LibraryConfig
 	// QualityReport is a metaQUAST-style evaluation of an assembly against
 	// the simulated references.
 	QualityReport = eval.Report
@@ -58,6 +64,15 @@ func DefaultCommunityConfig() CommunityConfig { return sim.DefaultCommunityConfi
 // DefaultReadConfig returns a typical Illumina-like read simulation
 // configuration.
 func DefaultReadConfig() ReadConfig { return sim.DefaultReadConfig() }
+
+// TwoLibraryReadConfig returns the paper-style two-library configuration: a
+// short-insert (300 bp) paired-end library plus a long-insert (1500 bp)
+// jumping library. Assemble the resulting reads with a Config whose
+// Libraries list matches (same order and geometry) to get round-based
+// multi-library scaffolding; see TUTORIAL.md.
+func TwoLibraryReadConfig(coverage float64, seed int64) ReadConfig {
+	return sim.TwoLibraryReadConfig(coverage, seed)
+}
 
 // SimulateCommunity generates a deterministic synthetic metagenome.
 func SimulateCommunity(cfg CommunityConfig) *Community { return sim.GenerateCommunity(cfg) }
