@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -56,6 +57,10 @@ func main() {
 		insertStd    = flag.String("insert-std", "", "library insert std(s), comma-separated (default insert/10)")
 		noScaffold   = flag.Bool("no-scaffold", false, "stop after contig generation")
 		minContig    = flag.Int("min-contig", 0, "drop contigs shorter than this")
+		ckptDir      = flag.String("checkpoint", "", "write per-stage checkpoints with a content-hashed manifest into this directory")
+		resumeDir    = flag.String("resume", "", "resume from the last completed stage checkpointed in this directory")
+		failAfter    = flag.String("fail-after-stage", "", "fault injection: kill the run after this stage completes (exit 3)")
+		failAtIt     = flag.Int("fail-at-iteration", 0, "fault injection: k-iteration index -fail-after-stage fires at")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -120,10 +125,24 @@ func main() {
 	cfg.InsertSize, cfg.InsertStd = libs[0].InsertSize, libs[0].InsertStd
 	cfg.Scaffolding = !*noScaffold
 	cfg.MinContigLen = *minContig
+	cfg.CheckpointDir = *ckptDir
+	cfg.ResumeFrom = *resumeDir
+	cfg.FailAfterStage = *failAfter
+	cfg.FailAtIteration = *failAtIt
 
 	res, err := core.Assemble(reads, cfg)
 	if err != nil {
+		if errors.Is(err, core.ErrFaultInjected) {
+			log.Printf("mhm: %v", err)
+			if *ckptDir != "" {
+				log.Printf("mhm: checkpoints up to the kill point are in %s; rerun with -resume %s to continue", *ckptDir, *ckptDir)
+			}
+			os.Exit(3)
+		}
 		log.Fatalf("mhm: %v", err)
+	}
+	if res.ManifestHead != "" {
+		fmt.Printf("manifest head: %s\n", res.ManifestHead)
 	}
 
 	seqs := res.FinalSequences()

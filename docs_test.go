@@ -69,6 +69,28 @@ func TestDocsRequiredCrossLinks(t *testing.T) {
 			}
 		}
 	}
+	// The checkpoint/restart documentation must stay present: the design
+	// notes own the manifest format and failure-mode table, the tutorial
+	// owns the kill-and-resume walkthrough, and the tutorial section points
+	// back at the design section.
+	sections := map[string][]string{
+		"DESIGN.md": {"## 8. Checkpoint/restart and run provenance",
+			"MANIFEST.json", "FailAtBarrier", "ErrCorruptShard"},
+		"TUTORIAL.md": {"## 6. Surviving a mid-run kill",
+			"-fail-after-stage", "manifest head", "DESIGN.md) §8"},
+	}
+	for doc, wants := range sections {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("%s: %v", doc, err)
+			continue
+		}
+		for _, want := range wants {
+			if !strings.Contains(string(data), want) {
+				t.Errorf("%s must keep the checkpoint/restart documentation (missing %q)", doc, want)
+			}
+		}
+	}
 }
 
 // TestExamplesHaveDocComments verifies every example program opens with a

@@ -1,0 +1,327 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mhmgo/internal/aligner"
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/pgas"
+	"mhmgo/internal/scaffold"
+	"mhmgo/internal/seq"
+)
+
+func TestManifestChain(t *testing.T) {
+	m := New("cfg-hash", "input-hash", 3)
+	root := m.Head()
+	if root == "" {
+		t.Fatal("empty head on fresh manifest")
+	}
+	s1 := m.AppendStep(0, "kmer_analysis", 21, []string{"a", "b", "c"})
+	if s1.PrevHash != root {
+		t.Errorf("first step prev %q != root %q", s1.PrevHash, root)
+	}
+	s2 := m.AppendStep(0, "dbg_traversal", 21, []string{"d", "e", "f"})
+	if s2.PrevHash != s1.EntryHash {
+		t.Error("second step does not chain onto the first")
+	}
+	if m.Head() != s2.EntryHash {
+		t.Error("head is not the last entry hash")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify on a well-formed chain: %v", err)
+	}
+	if err := m.ValidateFor("cfg-hash", "input-hash", 3); err != nil {
+		t.Fatalf("ValidateFor with matching identity: %v", err)
+	}
+
+	// An identically rebuilt manifest reaches the identical head.
+	m2 := New("cfg-hash", "input-hash", 3)
+	m2.AppendStep(0, "kmer_analysis", 21, []string{"a", "b", "c"})
+	m2.AppendStep(0, "dbg_traversal", 21, []string{"d", "e", "f"})
+	if m2.Head() != m.Head() {
+		t.Error("identical histories produced different heads")
+	}
+
+	// Any change to the identity or history changes the head.
+	m3 := New("cfg-hash2", "input-hash", 3)
+	if m3.Head() == root {
+		t.Error("different config hash produced the same root")
+	}
+}
+
+func TestManifestValidateForMismatches(t *testing.T) {
+	m := New("cfg", "input", 3)
+	m.AppendStep(0, "kmer_analysis", 21, []string{"a", "b", "c"})
+	cases := []struct {
+		name                  string
+		cfgHash, inHash       string
+		ranks                 int
+		want                  error
+	}{
+		{"config", "other", "input", 3, ErrConfigMismatch},
+		{"input", "cfg", "other", 3, ErrInputMismatch},
+		{"ranks", "cfg", "input", 4, ErrRankMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := m.ValidateFor(tc.cfgHash, tc.inHash, tc.ranks)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("ValidateFor = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestManifestVerifyDetectsTampering(t *testing.T) {
+	fresh := func() *Manifest {
+		m := New("cfg", "input", 2)
+		m.AppendStep(0, "kmer_analysis", 21, []string{"a", "b"})
+		m.AppendStep(0, "dbg_traversal", 21, []string{"c", "d"})
+		return m
+	}
+	cases := []struct {
+		name   string
+		tamper func(m *Manifest)
+	}{
+		{"shard hash edited", func(m *Manifest) { m.Steps[0].ShardHashes[0] = "x" }},
+		{"step dropped", func(m *Manifest) { m.Steps = m.Steps[1:] }},
+		{"steps swapped", func(m *Manifest) { m.Steps[0], m.Steps[1] = m.Steps[1], m.Steps[0] }},
+		{"iteration edited", func(m *Manifest) { m.Steps[1].Iteration = 5 }},
+		{"stage renamed", func(m *Manifest) { m.Steps[1].Stage = "scaffolding" }},
+		{"shard count vs ranks", func(m *Manifest) { m.Ranks = 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := fresh()
+			tc.tamper(m)
+			if err := m.Verify(); !errors.Is(err, ErrBadChain) && !errors.Is(err, ErrBadManifest) {
+				t.Errorf("Verify after tampering = %v, want chain/manifest error", err)
+			}
+		})
+	}
+}
+
+func TestManifestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	m := New("cfg", "input", 2)
+	m.AppendStep(0, "kmer_analysis", 21, []string{"a", "b"})
+	if err := m.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatalf("loaded manifest does not verify: %v", err)
+	}
+	if got.Head() != m.Head() {
+		t.Error("head changed across save/load")
+	}
+
+	if _, err := Load(t.TempDir()); !errors.Is(err, ErrBadManifest) {
+		t.Errorf("Load from empty dir = %v, want ErrBadManifest", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); !errors.Is(err, ErrBadManifest) {
+		t.Errorf("Load of malformed JSON = %v, want ErrBadManifest", err)
+	}
+}
+
+func TestShardReadWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := ShardPath(dir, 0, "kmer_analysis", 1)
+	payload := []byte("some shard payload")
+	hash, err := WriteShard(path, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadShard(path, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("ReadShard = %q, want %q", got, payload)
+	}
+
+	if _, err := ReadShard(ShardPath(dir, 0, "kmer_analysis", 2), hash); !errors.Is(err, ErrMissingShard) {
+		t.Errorf("missing shard = %v, want ErrMissingShard", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShard(path, hash); !errors.Is(err, ErrCorruptShard) {
+		t.Errorf("corrupted shard = %v, want ErrCorruptShard", err)
+	}
+}
+
+// TestCodecRoundTrip pins the typed codecs: every record decodes back to
+// itself, and the encoded size is never below the pgas reflective lower
+// bound, so checkpoint bytes can stand in for wire bytes in cost arguments.
+func TestCodecRoundTrip(t *testing.T) {
+	rd := seq.Read{ID: "pair1/1", Seq: []byte("ACGTACGTA"), Qual: []byte("IIIIIIIII"), LibID: 2}
+	var e1 Enc
+	e1.Read(rd)
+	if got, min := len(e1.Bytes()), pgas.WireSizeOf(rd); got < min {
+		t.Errorf("encoded read %d bytes < reflective bound %d", got, min)
+	}
+	d := NewDec(e1.Bytes())
+	rd2, err := d.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd2.ID != rd.ID || string(rd2.Seq) != string(rd.Seq) || string(rd2.Qual) != string(rd.Qual) || rd2.LibID != rd.LibID {
+		t.Errorf("read round trip: got %+v want %+v", rd2, rd)
+	}
+	if err := d.Done(); err != nil {
+		t.Error(err)
+	}
+
+	c := dbg.Contig{ID: 7, Seq: []byte("ACGTTT"), Depth: 3.25}
+	var e2 Enc
+	e2.Contig(c)
+	if got, min := len(e2.Bytes()), pgas.WireSizeOf(c); got < min {
+		t.Errorf("encoded contig %d bytes < reflective bound %d", got, min)
+	}
+	c2, err := NewDec(e2.Bytes()).Contig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.ID != c.ID || string(c2.Seq) != string(c.Seq) || c2.Depth != c.Depth {
+		t.Errorf("contig round trip: got %+v want %+v", c2, c)
+	}
+
+	a := aligner.Alignment{ReadIdx: 12, ReadID: "pair1/1", LibID: 1, ContigID: 3,
+		ContigLen: 500, ContigPos: -4, Reverse: true, Matches: 70, Mismatch: 2, AlignLen: 72}
+	var e3 Enc
+	e3.Alignment(a)
+	if got, min := len(e3.Bytes()), pgas.WireSizeOf(a); got < min {
+		t.Errorf("encoded alignment %d bytes < reflective bound %d", got, min)
+	}
+	a2, err := NewDec(e3.Bytes()).Alignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Errorf("alignment round trip: got %+v want %+v", a2, a)
+	}
+
+	s := scaffold.Scaffold{ID: 2, Seq: []byte("ACGTNNNACGT"), ContigIDs: []int{4, 9}, Gaps: 1, GapsClosed: 1}
+	var e4 Enc
+	e4.Scaffold(s)
+	if got, min := len(e4.Bytes()), pgas.WireSizeOf(s); got < min {
+		t.Errorf("encoded scaffold %d bytes < reflective bound %d", got, min)
+	}
+	s2, err := NewDec(e4.Bytes()).Scaffold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.ID != s.ID || string(s2.Seq) != string(s.Seq) || len(s2.ContigIDs) != 2 ||
+		s2.ContigIDs[0] != 4 || s2.ContigIDs[1] != 9 || s2.Gaps != 1 || s2.GapsClosed != 1 {
+		t.Errorf("scaffold round trip: got %+v want %+v", s2, s)
+	}
+
+	kc := seq.KmerCount{Kmer: seq.MustKmer("ACGTACGTACGTACGTACGTA"), Count: 9,
+		Left: seq.ExtCounts{1, 0, 2, 0}, Right: seq.ExtCounts{0, 5, 0, 1}}
+	var e5 Enc
+	e5.KmerCount(kc)
+	if got := len(e5.Bytes()); got != KmerCountBytes {
+		t.Errorf("encoded k-mer count %d bytes, want fixed %d", got, KmerCountBytes)
+	}
+	if got, min := len(e5.Bytes()), pgas.WireSizeOf(kc); got < min {
+		t.Errorf("encoded k-mer count %d bytes < reflective bound %d", got, min)
+	}
+	kc2, err := NewDec(e5.Bytes()).KmerCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc2 != kc {
+		t.Errorf("k-mer count round trip: got %+v want %+v", kc2, kc)
+	}
+}
+
+// TestDecRejectsMalformed pins decode-side validation: truncation, bad bool
+// bytes, implausible counts and dirty k-mer packing all error out.
+func TestDecRejectsMalformed(t *testing.T) {
+	var e Enc
+	e.Str("hello")
+	enc := e.Bytes()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := NewDec(enc[:cut]).Str(); err == nil {
+			t.Errorf("Str decoded successfully from %d of %d bytes", cut, len(enc))
+		}
+	}
+
+	var eb Enc
+	eb.U8(2)
+	if _, err := NewDec(eb.Bytes()).Bool(); err == nil {
+		t.Error("bool byte 2 accepted")
+	}
+
+	var ec Enc
+	ec.Int(1 << 40) // plausible-looking huge element count
+	if _, err := NewDec(ec.Bytes()).Count(8); err == nil {
+		t.Error("implausible count accepted")
+	}
+	var en Enc
+	en.Int(-1)
+	if _, err := NewDec(en.Bytes()).Count(8); err == nil {
+		t.Error("negative count accepted")
+	}
+
+	// A k-mer with bits set outside the masked region can never be produced
+	// by the encoder and must be rejected.
+	kc := seq.KmerCount{Kmer: seq.Kmer{Hi: ^uint64(0), Lo: ^uint64(0), K: 21}, Count: 1}
+	var ek Enc
+	ek.KmerCount(kc)
+	if _, err := NewDec(ek.Bytes()).KmerCount(); err == nil {
+		t.Error("k-mer with dirty packing bits accepted")
+	}
+	kc.Kmer = seq.Kmer{K: 200}
+	var ek2 Enc
+	ek2.KmerCount(kc)
+	if _, err := NewDec(ek2.Bytes()).KmerCount(); err == nil {
+		t.Error("k-mer length 200 accepted")
+	}
+
+	// Trailing garbage is caught by Done.
+	var et Enc
+	et.U8(1)
+	d := NewDec(et.Bytes())
+	if err := d.Done(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("Done with trailing bytes = %v", err)
+	}
+}
+
+// TestDecodedSlicesDoNotAlias pins the capped-slice guarantee: appending to
+// one decoded blob must not overwrite the next record's bytes.
+func TestDecodedSlicesDoNotAlias(t *testing.T) {
+	var e Enc
+	e.Blob([]byte("AAAA"))
+	e.Blob([]byte("CCCC"))
+	d := NewDec(e.Bytes())
+	b1, err := d.Blob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 = append(b1, 'X', 'X', 'X', 'X')
+	_ = b1
+	b2, err := d.Blob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b2) != "CCCC" {
+		t.Errorf("append on earlier decoded slice corrupted later record: %q", b2)
+	}
+}

@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"testing"
+
+	"mhmgo/internal/aligner"
+	"mhmgo/internal/dbg"
+	"mhmgo/internal/scaffold"
+	"mhmgo/internal/seq"
+)
+
+func mustRead() seq.Read {
+	return seq.Read{ID: "pair1/1", Seq: []byte("ACGTACGTA"), Qual: []byte("IIIIIIIII"), LibID: 1}
+}
+
+func mustAlignment() aligner.Alignment {
+	return aligner.Alignment{ReadIdx: 12, ReadID: "pair1/1", LibID: 1, ContigID: 3,
+		ContigLen: 500, ContigPos: -4, Reverse: true, Matches: 70, Mismatch: 2, AlignLen: 72}
+}
+
+func mustContig() dbg.Contig {
+	return dbg.Contig{ID: 7, Seq: []byte("ACGTTT"), Depth: 3.25}
+}
+
+func mustScaffold() scaffold.Scaffold {
+	return scaffold.Scaffold{ID: 2, Seq: []byte("ACGTNNNACGT"), ContigIDs: []int{4, 9}, Gaps: 1, GapsClosed: 1}
+}
+
+func mustKmerCount() seq.KmerCount {
+	return seq.KmerCount{Kmer: seq.MustKmer("ACGTACGTACGTACGTACGTA"), Count: 9,
+		Left: seq.ExtCounts{1, 0, 2, 0}, Right: seq.ExtCounts{0, 5, 0, 1}}
+}
+
+// FuzzManifestParse feeds arbitrary bytes through manifest parsing and chain
+// verification: both must reject malformed input with an error — never panic
+// — and a manifest that parses and verifies must survive a JSON round trip
+// with its head intact.
+func FuzzManifestParse(f *testing.F) {
+	m := New("cfg-hash", "input-hash", 3)
+	m.AppendStep(0, "kmer_analysis", 21, []string{"a", "b", "c"})
+	m.AppendStep(0, "dbg_traversal", 21, []string{"d", "e", "f"})
+	seed, err := json.Marshal(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"ranks":2,"steps":[{"seq":0}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if verr := got.Verify(); verr != nil {
+			return
+		}
+		// A parsed and verified manifest must round-trip with a stable head.
+		out, err := json.Marshal(got)
+		if err != nil {
+			t.Fatalf("marshal of verified manifest: %v", err)
+		}
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of verified manifest: %v", err)
+		}
+		if again.Head() != got.Head() {
+			t.Fatalf("head changed across JSON round trip: %s vs %s", again.Head(), got.Head())
+		}
+	})
+}
+
+// FuzzDecRecords drives the typed record decoders over arbitrary bytes: they
+// must either return an error or produce a value whose re-encoding is
+// byte-identical to what was consumed (the format is canonical).
+func FuzzDecRecords(f *testing.F) {
+	var seedRead Enc
+	seedRead.Read(mustRead())
+	f.Add(uint8(0), seedRead.Bytes())
+	var seedAln Enc
+	seedAln.Alignment(mustAlignment())
+	f.Add(uint8(1), seedAln.Bytes())
+	var seedContig Enc
+	seedContig.Contig(mustContig())
+	f.Add(uint8(2), seedContig.Bytes())
+	var seedScaf Enc
+	seedScaf.Scaffold(mustScaffold())
+	f.Add(uint8(3), seedScaf.Bytes())
+	var seedKC Enc
+	seedKC.KmerCount(mustKmerCount())
+	f.Add(uint8(4), seedKC.Bytes())
+
+	f.Fuzz(func(t *testing.T, kind uint8, data []byte) {
+		d := NewDec(data)
+		var re Enc
+		var err error
+		switch kind % 5 {
+		case 0:
+			var v = d
+			r, e := v.Read()
+			if e == nil {
+				re.Read(r)
+			}
+			err = e
+		case 1:
+			a, e := d.Alignment()
+			if e == nil {
+				re.Alignment(a)
+			}
+			err = e
+		case 2:
+			c, e := d.Contig()
+			if e == nil {
+				re.Contig(c)
+			}
+			err = e
+		case 3:
+			s, e := d.Scaffold()
+			if e == nil {
+				re.Scaffold(s)
+			}
+			err = e
+		case 4:
+			kc, e := d.KmerCount()
+			if e == nil {
+				re.KmerCount(kc)
+			}
+			err = e
+		}
+		if err != nil {
+			return
+		}
+		consumed := len(data) - d.Remaining()
+		if got := re.Bytes(); string(got) != string(data[:consumed]) {
+			t.Fatalf("kind %d: re-encode differs from consumed bytes (%d vs %d bytes)",
+				kind%5, len(got), consumed)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package checkpoint implements per-stage checkpoint serialization and the
+// content-hashed run manifest for the assembler's checkpoint/restart support
+// (the robustness pillar: HipMer/MetaHipMer production runs survive
+// multi-hour assemblies by checkpointing between pipeline stages).
+//
+// The package has three parts:
+//
+//   - A compact little-endian binary codec (Enc/Dec) with typed encoders for
+//     the pipeline's record types (reads, contigs, alignments, scaffolds,
+//     k-mer counts). Every decode path is bounds-checked and returns an
+//     error — corrupted or truncated checkpoint bytes must never panic and
+//     never silently resume.
+//   - Shard files: one file per (step, rank), written atomically
+//     (temp + rename) under a magic header, read back only against the
+//     content hash the manifest recorded for them.
+//   - The manifest: a JSON document whose steps form a Merkle-style hash
+//     chain rooted in the content hashes of the run's configuration and
+//     input reads, so a resume can refuse to continue from state that was
+//     produced by a different run.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Enc is an append-only encoder for the checkpoint wire format. The zero
+// value is ready to use. All integers are little-endian; variable-length
+// payloads are length-prefixed with an int64.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int as int64.
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// F64 appends the IEEE-754 bit pattern of a float64, preserving the exact
+// bits (checkpointed clocks must restore bit-identically).
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a bool as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Enc) Blob(b []byte) {
+	e.Int(len(b))
+	e.buf = append(e.buf, b...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.Int(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// Dec decodes the checkpoint wire format. Every method returns an error on
+// truncated or malformed input instead of panicking, and length prefixes are
+// validated against the remaining bytes before any allocation, so a decoder
+// fed hostile input can neither crash nor balloon memory.
+type Dec struct {
+	buf []byte
+	off int
+}
+
+// NewDec returns a decoder over b.
+func NewDec(b []byte) *Dec { return &Dec{buf: b} }
+
+// Remaining returns the number of undecoded bytes.
+func (d *Dec) Remaining() int { return len(d.buf) - d.off }
+
+// Done returns an error unless the buffer was consumed exactly.
+func (d *Dec) Done() error {
+	if n := d.Remaining(); n != 0 {
+		return fmt.Errorf("checkpoint: %d trailing bytes after decode", n)
+	}
+	return nil
+}
+
+func (d *Dec) take(n int) ([]byte, error) {
+	if n < 0 || n > d.Remaining() {
+		return nil, fmt.Errorf("checkpoint: truncated input: need %d bytes, have %d", n, d.Remaining())
+	}
+	// The full slice expression caps the result at its own bytes: decoded
+	// slices alias the input buffer, and without the cap a later append on
+	// one decoded field could silently overwrite its neighbours.
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// U8 decodes one byte.
+func (d *Dec) U8() (uint8, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// U32 decodes a little-endian uint32.
+func (d *Dec) U32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// U64 decodes a little-endian uint64.
+func (d *Dec) U64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// I64 decodes a little-endian int64.
+func (d *Dec) I64() (int64, error) {
+	v, err := d.U64()
+	return int64(v), err
+}
+
+// Int decodes an int64 into an int.
+func (d *Dec) Int() (int, error) {
+	v, err := d.I64()
+	if err != nil {
+		return 0, err
+	}
+	if int64(int(v)) != v {
+		return 0, fmt.Errorf("checkpoint: integer %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+// F64 decodes a float64 from its bit pattern.
+func (d *Dec) F64() (float64, error) {
+	v, err := d.U64()
+	return math.Float64frombits(v), err
+}
+
+// Bool decodes a bool; any byte other than 0 or 1 is an error.
+func (d *Dec) Bool() (bool, error) {
+	v, err := d.U8()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("checkpoint: invalid bool byte %#x", v)
+	}
+}
+
+// Blob decodes a length-prefixed byte slice. The returned slice aliases the
+// decoder's buffer.
+func (d *Dec) Blob() ([]byte, error) {
+	n, err := d.Int()
+	if err != nil {
+		return nil, err
+	}
+	return d.take(n)
+}
+
+// Str decodes a length-prefixed string.
+func (d *Dec) Str() (string, error) {
+	b, err := d.Blob()
+	return string(b), err
+}
+
+// Count decodes an element count that precedes a homogeneous sequence whose
+// elements occupy at least minBytes bytes each. Validating the count against
+// the remaining input caps the slice a caller may pre-allocate at the size
+// of the data actually present, so a corrupted length prefix cannot request
+// an enormous allocation.
+func (d *Dec) Count(minBytes int) (int, error) {
+	n, err := d.Int()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n < 0 || n > d.Remaining()/minBytes {
+		return 0, fmt.Errorf("checkpoint: implausible element count %d (%d bytes remaining)", n, d.Remaining())
+	}
+	return n, nil
+}

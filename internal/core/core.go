@@ -10,7 +10,9 @@ import (
 
 	"mhmgo/internal/aligner"
 	"mhmgo/internal/cgraph"
+	"mhmgo/internal/checkpoint"
 	"mhmgo/internal/dbg"
+	"mhmgo/internal/dht"
 	"mhmgo/internal/dist"
 	"mhmgo/internal/hmm"
 	"mhmgo/internal/kmeranalysis"
@@ -101,6 +103,33 @@ type Config struct {
 
 	// MinContigLen drops contigs shorter than this from the final output.
 	MinContigLen int
+
+	// Checkpoint/restart (the robustness pillar: production HipMer/MetaHipMer
+	// runs survive multi-hour assemblies by checkpointing between stages).
+	//
+	// CheckpointDir, when non-empty, makes the run serialize every rank's
+	// surviving pipeline state after each stage into that directory, chained
+	// into a content-hashed manifest (see the checkpoint package). ResumeFrom,
+	// when non-empty, restores the run from the last completed stage recorded
+	// in that directory; the resume is refused — with a distinct error per
+	// failure mode — if the configuration hash, input reads hash or rank
+	// count differ from the checkpointed run, or if the manifest chain or any
+	// shard file fails verification. A resumed run reproduces the
+	// uninterrupted run bit-for-bit: final sequences, simulated seconds and
+	// manifest head hash are all identical.
+	CheckpointDir string
+	ResumeFrom    string
+
+	// Fault injection (testing). FailAfterStage kills the run (Assemble
+	// returns ErrFaultInjected) immediately after the named stage of
+	// iteration FailAtIteration completed and its checkpoint was written.
+	// FailAtBarrier > 0 kills the run abruptly in the middle of rank 0's n-th
+	// barrier entry — mid-collective, the worst possible moment. Neither knob
+	// participates in the configuration hash: a resume with the fault cleared
+	// must still match the killed run's identity.
+	FailAfterStage  string
+	FailAtIteration int
+	FailAtBarrier   int
 }
 
 // DefaultConfig returns the standard MetaHipMer configuration for the given
@@ -258,6 +287,10 @@ type Result struct {
 	// order (ascending library insert size). A single-library assembly has
 	// exactly one round.
 	ScaffoldRounds []RoundStats
+	// ManifestHead is the checkpoint manifest's chain head hash (empty when
+	// the run neither wrote checkpoints nor resumed from one). Two runs with
+	// equal heads executed the identical pipeline over identical inputs.
+	ManifestHead string
 }
 
 // RoundStats summarizes one scaffolding round: which library drove it and
@@ -312,13 +345,66 @@ func Assemble(reads []seq.Read, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: %d libraries exceed the 256 the uint8 LibID tag can address", len(cfg.Libraries))
 	}
 
+	if cfg.FailAfterStage != "" {
+		if _, ok := stageIndexOf(cfg.FailAfterStage); !ok {
+			return nil, fmt.Errorf("core: FailAfterStage names unknown stage %q", cfg.FailAfterStage)
+		}
+	}
+
 	machine := pgas.NewMachine(pgas.Config{Ranks: cfg.Ranks, RanksPerNode: cfg.RanksPerNode, Cost: cfg.Cost, CostSet: cfg.CostSet})
 	res := &Result{TotalReads: len(reads)}
 
+	// Checkpoint/restart context. Resume validation, shard decoding and the
+	// reconstruction of the distributed structures all happen here — outside
+	// the SPMD region and charge-free, because the uninterrupted run never
+	// performs them; their simulated cost lives in the restored rank clocks.
+	ck := &ckptRun{}
+	if cfg.ResumeFrom != "" {
+		rs, err := loadResume(cfg.ResumeFrom, reads, cfg, ks, machine)
+		if err != nil {
+			return nil, err
+		}
+		ck.resume = rs
+	}
+	if cfg.CheckpointDir != "" {
+		man := checkpoint.New(configHash(cfg, ks), inputHash(reads), cfg.Ranks)
+		if ck.resume != nil {
+			// Continue the resumed run's chain: the head hash must end up
+			// identical to an uninterrupted run's.
+			man = ck.resume.man
+		}
+		w, err := newCkptWriter(cfg.CheckpointDir, cfg.Ranks, man)
+		if err != nil {
+			return nil, err
+		}
+		ck.writer = w
+	}
+	if cfg.FailAtBarrier > 0 {
+		machine.InjectBarrierFailure(uint64(cfg.FailAtBarrier),
+			fmt.Errorf("%w: killed inside barrier %d", ErrFaultInjected, cfg.FailAtBarrier))
+	}
+
 	perRank := make([]rankOutput, cfg.Ranks)
 	runRes := machine.Run(func(r *pgas.Rank) {
-		perRank[r.ID()] = runPipeline(r, reads, cfg, ks)
+		perRank[r.ID()] = runPipeline(r, reads, cfg, ks, ck)
 	})
+	if runRes.Err != nil {
+		return nil, runRes.Err
+	}
+	if ck.writer != nil {
+		if err := ck.writer.firstErr(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint write failed: %w", err)
+		}
+	}
+	if perRank[0].failed {
+		return nil, fmt.Errorf("%w: killed after stage %s of iteration %d",
+			ErrFaultInjected, cfg.FailAfterStage, cfg.FailAtIteration)
+	}
+	if ck.writer != nil {
+		res.ManifestHead = ck.writer.head()
+	} else if ck.resume != nil {
+		res.ManifestHead = ck.resume.man.Head()
+	}
 
 	res.SimSeconds = runRes.SimSeconds
 	res.WallSeconds = runRes.Wall.Seconds()
@@ -353,6 +439,9 @@ type rankOutput struct {
 	alignedFrac    float64
 	localAsmBases  int
 	cacheHitRate   float64
+	// failed marks a run killed by Config.FailAfterStage; identical on all
+	// ranks (the kill condition is a pure function of the stage schedule).
+	failed bool
 }
 
 // accumulateScaffoldResult folds one round's counters into the assembly-wide
@@ -371,8 +460,12 @@ func accumulateScaffoldResult(total *scaffold.Result, round scaffold.Result) {
 	total.Local = round.Local
 }
 
-// runPipeline is the SPMD body executed by every rank.
-func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOutput {
+// runPipeline is the SPMD body executed by every rank. ck carries the run's
+// checkpoint/restart context (a zero-value ckptRun when neither is active):
+// stages at or before the resume point are skipped — their effects live in
+// the restored state — and when a checkpoint writer is attached, every
+// completed stage deposits the rank's full surviving state.
+func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ckptRun) rankOutput {
 	var out rankOutput
 
 	mode := dist.Distributed
@@ -386,96 +479,232 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 	readOffset := lo
 
 	var cset *dbg.ContigSet
+	var counts *dht.Map[seq.Kmer, seq.KmerCount]
 	var lastAligns []aligner.Alignment
 	// Resident bytes charged for the current localized read set; released
 	// when the next localization round replaces it.
 	shippedReadBytes := 0
 
+	if ck.resume != nil {
+		// Re-enter the pipeline at the stage after the resume point. The
+		// restored clock and resident meter are the exact bit patterns the
+		// uninterrupted run carried at this boundary, so everything simulated
+		// from here on reproduces it identically.
+		st := &ck.resume.states[r.ID()]
+		myReads = st.reads
+		readOffset = st.readOffset
+		shippedReadBytes = st.shippedReadBytes
+		out.distinctKmers = st.distinctKmers
+		out.heavyHitterMax = st.heavyHitterMax
+		out.alignedFrac = st.alignedFrac
+		out.localAsmBases = st.localAsmBases
+		out.cacheHitRate = st.cacheHitRate
+		if st.hasAligns {
+			lastAligns = st.aligns
+		}
+		cset = ck.resume.cset
+		counts = ck.resume.counts
+		if st.hasScaffold {
+			out.scaffolds = st.scaffolds
+			c := st.scafCounters
+			out.scaffoldResult = scaffold.Result{
+				Scaffolds:        st.scaffolds,
+				Local:            st.scaffoldLocal,
+				SplintLinks:      c[0],
+				SpanLinks:        c[1],
+				AcceptedLinks:    c[2],
+				RepeatsSuspended: c[3],
+				Components:       c[4],
+				RRNAHits:         c[5],
+				GapsTotal:        c[6],
+				GapsClosed:       c[7],
+			}
+			out.scaffoldRounds = st.rounds
+		}
+		r.RestoreState(st.clock, st.resident)
+	}
+
+	// ckpt deposits this rank's state after stage (it, stage) completed and
+	// reports whether the injected fault fires here. It runs between the
+	// stage-end barrier and the next collective, using only out-of-band Go
+	// synchronization: checkpoint I/O must never advance the simulated
+	// clocks, or a checkpointed run would diverge from an uncheckpointed one.
+	ckpt := func(it, stage, k int) (failNow bool) {
+		if ck.writer != nil {
+			st := rankState{
+				ranks:            r.NRanks(),
+				rank:             r.ID(),
+				it:               it,
+				stage:            stage,
+				clock:            r.Clock(),
+				resident:         r.Resident(),
+				reads:            myReads,
+				readOffset:       readOffset,
+				shippedReadBytes: shippedReadBytes,
+				distinctKmers:    out.distinctKmers,
+				heavyHitterMax:   out.heavyHitterMax,
+				alignedFrac:      out.alignedFrac,
+				localAsmBases:    out.localAsmBases,
+				cacheHitRate:     out.cacheHitRate,
+			}
+			// Alignments are serialized only at boundaries where a later
+			// stage still consumes them: local assembly in the same
+			// iteration, or read localization at the iteration end.
+			switch stage {
+			case stageIdxAlignment:
+				st.hasAligns = cfg.LocalAssembly || (cfg.ReadLocalization && it < len(ks)-1)
+			case stageIdxLocalAssembly:
+				st.hasAligns = cfg.ReadLocalization && it < len(ks)-1
+			}
+			if st.hasAligns {
+				st.aligns = lastAligns
+			}
+			if cset != nil {
+				st.hasContigs = true
+				st.contigs = cset.Local(r)
+			}
+			if counts != nil {
+				st.hasCounts = true
+				st.counts = collectCounts(counts, r.ID())
+			}
+			if stage == stageIdxScaffolding {
+				st.hasScaffold = true
+				st.scaffolds = out.scaffolds
+				st.scaffoldLocal = out.scaffoldResult.Local
+				sr := &out.scaffoldResult
+				st.scafCounters = [8]int{
+					sr.SplintLinks, sr.SpanLinks, sr.AcceptedLinks, sr.RepeatsSuspended,
+					sr.Components, sr.RRNAHits, sr.GapsTotal, sr.GapsClosed,
+				}
+				st.rounds = out.scaffoldRounds
+			}
+			ck.writer.record(r.ID(), it, stageNames[stage], k, encodeRankState(&st))
+		}
+		if cfg.FailAfterStage == stageNames[stage] && cfg.FailAtIteration == it {
+			out.failed = true
+			return true
+		}
+		return false
+	}
+
 	for it, k := range ks {
 		// Stage 1: k-mer analysis.
-		st := r.StageStart()
-		kopts := kmeranalysis.DefaultOptions(k)
-		kopts.MinCount = cfg.MinKmerCount
-		kopts.UseBloom = cfg.UseBloom
-		kopts.Aggregate = cfg.Aggregate
-		kares := kmeranalysis.Run(r, myReads, kopts, nil)
-		out.distinctKmers = kares.DistinctKmers
-		if len(kares.HeavyHitters) > 0 && kares.HeavyHitters[0].Count > out.heavyHitterMax {
-			out.heavyHitterMax = kares.HeavyHitters[0].Count
+		if !ck.done(it, stageIdxKmerAnalysis) {
+			st := r.StageStart()
+			kopts := kmeranalysis.DefaultOptions(k)
+			kopts.MinCount = cfg.MinKmerCount
+			kopts.UseBloom = cfg.UseBloom
+			kopts.Aggregate = cfg.Aggregate
+			kares := kmeranalysis.Run(r, myReads, kopts, nil)
+			counts = kares.Counts
+			out.distinctKmers = kares.DistinctKmers
+			if len(kares.HeavyHitters) > 0 && kares.HeavyHitters[0].Count > out.heavyHitterMax {
+				out.heavyHitterMax = kares.HeavyHitters[0].Count
+			}
+			r.StageEnd(StageKmerAnalysis, st)
+			if ckpt(it, stageIdxKmerAnalysis, k) {
+				return out
+			}
 		}
-		r.StageEnd(StageKmerAnalysis, st)
 
 		// Stage 1b: merge the previous iteration's contig k-mers (Section
 		// II-H) so low-coverage organisms keep their assembled regions. The
 		// contigs are owner-distributed, so each rank merges its own shard.
-		if it > 0 && cset != nil {
-			st = r.StageStart()
+		if it > 0 && cset != nil && !ck.done(it, stageIdxKmerMerge) {
+			st := r.StageStart()
 			var seqs [][]byte
 			cset.ForEachLocal(r, func(_ int, c dbg.Contig) { seqs = append(seqs, c.Seq) })
-			kmeranalysis.MergeContigKmers(r, kares.Counts, seqs, k, cfg.MinKmerCount+1)
+			kmeranalysis.MergeContigKmers(r, counts, seqs, k, cfg.MinKmerCount+1)
 			r.StageEnd(StageKmerMerge, st)
+			if ckpt(it, stageIdxKmerMerge, k) {
+				return out
+			}
 		}
 
 		// Stage 2: de Bruijn graph construction and traversal. The emitted
 		// contigs are routed to their content-hash owners and renumbered
 		// with an exclusive scan; the previous iteration's set is released.
-		st = r.StageStart()
-		topts := dbg.ThresholdOptions{TBase: cfg.TBase, ErrorRate: cfg.ErrorRate, GlobalTHQ: cfg.GlobalTHQ, MinCount: 1}
-		graph := dbg.Build(r, kares.Counts, k, topts)
-		local := dbg.Traverse(r, graph, dbg.TraverseOptions{})
-		next := dbg.DistributeContigs(r, local, mode)
-		if cset != nil {
-			cset.Release(r)
+		if !ck.done(it, stageIdxDBGTraversal) {
+			st := r.StageStart()
+			topts := dbg.ThresholdOptions{TBase: cfg.TBase, ErrorRate: cfg.ErrorRate, GlobalTHQ: cfg.GlobalTHQ, MinCount: 1}
+			graph := dbg.Build(r, counts, k, topts)
+			local := dbg.Traverse(r, graph, dbg.TraverseOptions{})
+			next := dbg.DistributeContigs(r, local, mode)
+			if cset != nil {
+				cset.Release(r)
+			}
+			cset = next
+			// The counts table is consumed by graph construction; the next
+			// iteration builds a fresh one, so it leaves the checkpoint state.
+			counts = nil
+			r.StageEnd(StageDBGTraversal, st)
+			if ckpt(it, stageIdxDBGTraversal, k) {
+				return out
+			}
 		}
-		cset = next
-		r.StageEnd(StageDBGTraversal, st)
 
 		// Stages 3-4: bubble merging, hair removal, iterative pruning,
 		// chain compaction (all on the distributed set).
-		st = r.StageStart()
-		copts := cgraph.DefaultOptions(k)
-		copts.MergeBubbles = cfg.BubbleMerging
-		copts.RemoveHair = cfg.HairRemoval
-		copts.Prune = cfg.Pruning
-		copts.Compact = cfg.Compaction
-		copts.Aggregate = cfg.Aggregate
-		refined := cgraph.Refine(r, cset, copts)
-		cset = refined.Set
-		r.StageEnd(StageContigRefine, st)
+		if !ck.done(it, stageIdxContigRefine) {
+			st := r.StageStart()
+			copts := cgraph.DefaultOptions(k)
+			copts.MergeBubbles = cfg.BubbleMerging
+			copts.RemoveHair = cfg.HairRemoval
+			copts.Prune = cfg.Pruning
+			copts.Compact = cfg.Compaction
+			copts.Aggregate = cfg.Aggregate
+			refined := cgraph.Refine(r, cset, copts)
+			cset = refined.Set
+			r.StageEnd(StageContigRefine, st)
+			if ckpt(it, stageIdxContigRefine, k) {
+				return out
+			}
+		}
 
 		// Stage 5: read-to-contig alignment.
-		st = r.StageStart()
-		aopts := aligner.DefaultOptions(minInt(k, 31))
-		aopts.UseCache = cfg.SoftwareCache
-		idx := aligner.BuildIndex(r, cset, aopts)
-		aligns, astats := aligner.AlignReads(r, idx, myReads, readOffset, aopts)
-		lastAligns = aligns
-		alignedLocal := int64(astats.ReadsAligned)
-		totalLocal := int64(astats.ReadsTotal)
-		alignedAll := pgas.AllReduce(r, alignedLocal, pgas.ReduceSum)
-		totalAll := pgas.AllReduce(r, totalLocal, pgas.ReduceSum)
-		if totalAll > 0 {
-			out.alignedFrac = float64(alignedAll) / float64(totalAll)
+		if !ck.done(it, stageIdxAlignment) {
+			st := r.StageStart()
+			aopts := aligner.DefaultOptions(minInt(k, 31))
+			aopts.UseCache = cfg.SoftwareCache
+			idx := aligner.BuildIndex(r, cset, aopts)
+			aligns, astats := aligner.AlignReads(r, idx, myReads, readOffset, aopts)
+			lastAligns = aligns
+			alignedLocal := int64(astats.ReadsAligned)
+			totalLocal := int64(astats.ReadsTotal)
+			alignedAll := pgas.AllReduce(r, alignedLocal, pgas.ReduceSum)
+			totalAll := pgas.AllReduce(r, totalLocal, pgas.ReduceSum)
+			if totalAll > 0 {
+				out.alignedFrac = float64(alignedAll) / float64(totalAll)
+			}
+			out.cacheHitRate = astats.CacheHitRate
+			r.StageEnd(StageAlignment, st)
+			if ckpt(it, stageIdxAlignment, k) {
+				return out
+			}
 		}
-		out.cacheHitRate = astats.CacheHitRate
-		r.StageEnd(StageAlignment, st)
 
 		// Stage 6: local assembly (mer-walking with work sharing); the
 		// extensions are applied owner-side in place.
-		if cfg.LocalAssembly {
-			st = r.StageStart()
+		if cfg.LocalAssembly && !ck.done(it, stageIdxLocalAssembly) {
+			st := r.StageStart()
 			lopts := localasm.DefaultOptions(k)
 			lopts.WorkStealing = cfg.WorkStealing
 			lopts.Libraries = cfg.Libraries
-			lres := localasm.Run(r, cset, myReads, readOffset, aligns, lopts)
+			lres := localasm.Run(r, cset, myReads, readOffset, lastAligns, lopts)
 			out.localAsmBases = lres.ExtendedBases
 			r.StageEnd(StageLocalAssembly, st)
+			if ckpt(it, stageIdxLocalAssembly, k) {
+				return out
+			}
 		}
 
 		// Read localization (Section II-I): after the first iteration the
 		// reads are redistributed so reads aligned to a contig live on the
-		// rank that owns the contig.
-		if cfg.ReadLocalization && it < len(ks)-1 {
+		// rank that owns the contig. Not a checkpointed stage: a resume into
+		// the next iteration carries the localized reads in its restored
+		// state, and a resume at this iteration's last stage replays the
+		// exchange deterministically from the restored alignments.
+		if cfg.ReadLocalization && it < len(ks)-1 && !ck.done(it+1, stageIdxKmerAnalysis) {
 			// The previous round's shipped reads are superseded by this
 			// exchange: return their resident charge before re-charging.
 			r.ReleaseResident(shippedReadBytes)
@@ -484,8 +713,12 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 		}
 	}
 
-	// Drop short contigs shard-locally and re-densify the IDs.
-	if cfg.MinContigLen > 0 {
+	finalIt := len(ks) - 1
+
+	// Drop short contigs shard-locally and re-densify the IDs. Skipped on a
+	// resume past the scaffolding checkpoint: the restored set is already
+	// filtered (the scaffolding stage consumed it).
+	if cfg.MinContigLen > 0 && !ck.done(finalIt, stageIdxScaffolding) {
 		cset.FilterLocal(r, func(c dbg.Contig) bool { return len(c.Seq) >= cfg.MinContigLen })
 		dbg.RenumberContigs(r, cset)
 	}
@@ -498,7 +731,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 	// libraries link the structures the shorter ones built.
 	// With one library the loop degenerates to exactly the legacy
 	// single-round flow.
-	if cfg.Scaffolding {
+	if cfg.Scaffolding && !ck.done(finalIt, stageIdxScaffolding) {
 		st := r.StageStart()
 		finalK := ks[len(ks)-1]
 		order := scaffoldOrder(cfg.Libraries)
@@ -554,6 +787,9 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int) rankOu
 			cset = dbg.DistributeContigs(r, local, mode)
 		}
 		r.StageEnd(StageScaffolding, st)
+		if ckpt(finalIt, stageIdxScaffolding, ks[finalIt]) {
+			return out
+		}
 	}
 
 	// Final output: one rank-ordered emit onto rank 0, which sorts into the

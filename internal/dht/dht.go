@@ -345,6 +345,42 @@ func (m *Map[K, V]) SetLocal(r *pgas.Rank, key K, val V) {
 	r.Compute(1)
 }
 
+// RangeLocal iterates over the entries owned by the given rank without
+// charging the cost model — the per-partition counterpart of Lookup, for
+// coordinators and the checkpoint writer, which must observe the table
+// without perturbing the simulated clocks. Iteration order is unspecified;
+// callers needing determinism must collect and sort. The callback must not
+// call back into the same Map. Safe to call concurrently for distinct ranks;
+// must not race with mutations of the same partition.
+func (m *Map[K, V]) RangeLocal(rank int, f func(K, V)) {
+	frozen := m.frozen.Load()
+	p := &m.parts[rank]
+	for si := range p.stripes {
+		s := &p.stripes[si]
+		if !frozen {
+			s.mu.Lock()
+		}
+		for k, v := range s.data {
+			f(k, v)
+		}
+		if !frozen {
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Restore stores an entry directly into the given rank's partition without
+// charging the cost model. It is the checkpoint-restore path: the simulated
+// cost of building the table was paid by the original run and is carried in
+// the restored rank clocks, so re-materializing the entries must be free.
+// The key must hash to rank (not checked, mirroring SetLocal).
+func (m *Map[K, V]) Restore(rank int, key K, val V) {
+	s := m.mutableStripe(&m.parts[rank], m.stripeOf(key))
+	s.mu.Lock()
+	s.data[key] = val
+	s.mu.Unlock()
+}
+
 // Snapshot returns a copy of all entries in the map. It is intended for the
 // end of a parallel phase (after a barrier) and for tests.
 func (m *Map[K, V]) Snapshot() map[K]V {

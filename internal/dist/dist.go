@@ -124,6 +124,25 @@ func NewIndexed[T any](r *pgas.Rank, local []T, destOf func(src, i int, item T) 
 	return s
 }
 
+// RestoreSet reconstructs a Set from checkpointed per-rank shards, outside
+// any SPMD region and without charging the cost model: the simulated cost of
+// routing the items and the shards' resident bytes were paid by the original
+// run and are carried in the checkpointed rank clocks and resident meters.
+// shards[p] becomes rank p's shard verbatim, preserving ownership at the
+// same rank count. The ID base table is rebuilt from the shard lengths,
+// which is exact because every checkpointed set has been through Renumber
+// (dense IDs in rank order); callers should verify the stored item IDs
+// against Locate if the shards come from an untrusted file.
+func RestoreSet[T any](shards [][]T, wire func(T) int, mode Mode) *Set[T] {
+	s := &Set[T]{mode: mode, wire: wire, shards: shards}
+	base := make([]int, len(shards)+1)
+	for p, shard := range shards {
+		base[p+1] = base[p] + len(shard)
+	}
+	s.base = base
+	return s
+}
+
 // Mode returns the Set's data-movement mode.
 func (s *Set[T]) Mode() Mode { return s.mode }
 

@@ -72,6 +72,31 @@ func BuildProfile(examples [][]byte, conservation float64) *Profile {
 // Length returns the profile length in positions.
 func (p *Profile) Length() int { return p.length }
 
+// Fingerprint returns a content hash of the profile (FNV-1a over the length
+// and the bit patterns of every position weight). A nil or empty profile
+// hashes to 0. Checkpoint provenance uses it to detect a changed scaffolding
+// profile between a checkpointed run and a resume attempt.
+func (p *Profile) Fingerprint() uint64 {
+	if p == nil || p.length == 0 {
+		return 0
+	}
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(x uint64) {
+		for i := 0; i < 64; i += 8 {
+			h ^= (x >> i) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(p.length))
+	for _, pos := range p.logOdds {
+		for _, v := range pos {
+			mix(math.Float64bits(v))
+		}
+	}
+	return h
+}
+
 // maxScore returns the best possible score of the profile.
 func (p *Profile) maxScore() float64 {
 	var s float64

@@ -1,0 +1,60 @@
+package pgas
+
+import "testing"
+
+// fuzzRecord exercises every kind WireSizeOf handles: fixed-width numerics,
+// strings, byte slices, nested structs, pointers and slices of structs.
+type fuzzRecord struct {
+	A   int
+	B   uint32
+	C   float64
+	D   bool
+	S   string
+	P   []byte
+	Sub struct {
+		X int16
+		Y []int
+	}
+	Ptr *fuzzRecord
+}
+
+// FuzzWireSizeOf drives the reflective wire-size bound over arbitrary
+// payloads: it must never panic, never return a negative size, stay
+// monotonic under payload growth, and agree with hand-computed sizes for the
+// primitive kinds.
+func FuzzWireSizeOf(f *testing.F) {
+	f.Add("id", []byte("ACGT"), int64(3), uint(2), true)
+	f.Add("", []byte{}, int64(-1), uint(0), false)
+	f.Add("long-identifier-string", []byte("TTTTTTTTTTTTTTTT"), int64(1<<40), uint(9), true)
+
+	f.Fuzz(func(t *testing.T, s string, b []byte, n int64, m uint, flag bool) {
+		rec := fuzzRecord{A: int(n), B: uint32(m), D: flag, S: s, P: b}
+		rec.Sub.X = int16(n)
+		rec.Sub.Y = make([]int, m%8)
+		if flag {
+			rec.Ptr = &fuzzRecord{S: s}
+		}
+		size := WireSizeOf(rec)
+		if size < 0 {
+			t.Fatalf("negative wire size %d", size)
+		}
+		// The struct embeds its string and payload verbatim, so the bound
+		// can never be smaller than the variable-length content alone.
+		if size < len(s)+len(b) {
+			t.Fatalf("wire size %d below variable content %d", size, len(s)+len(b))
+		}
+		// Growing the payload by one byte grows the bound by exactly one.
+		rec2 := rec
+		rec2.P = append(append([]byte(nil), b...), 0)
+		if got := WireSizeOf(rec2); got != size+1 {
+			t.Fatalf("one appended payload byte changed the bound by %d", got-size)
+		}
+		// Primitive agreement.
+		if WireSizeOf(n) != 8 || WireSizeOf(flag) != 1 || WireSizeOf(s) != len(s) || WireSizeOf(b) != len(b) {
+			t.Fatal("primitive wire sizes disagree with their definitions")
+		}
+		if WireSizeOf(nil) != 0 {
+			t.Fatal("nil must have zero wire size")
+		}
+	})
+}

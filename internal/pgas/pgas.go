@@ -20,6 +20,7 @@
 package pgas
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -153,12 +154,28 @@ type Machine struct {
 	atomicMu sync.Mutex
 	atomics  []int64
 
+	// Abort state: once set, every rank unwinds at its next barrier (see
+	// Abort). trapBarrier/trapErr arm the fault-injection hook before Run.
+	abortMu     sync.Mutex
+	abortErr    error
+	trapBarrier uint64
+	trapErr     error
+
 	timingMu sync.Mutex
 	stages   []StageTime
 	stats    CommStats
 	simTime  float64
 	wallTime time.Duration
 }
+
+// ErrAborted is the base error of an aborted run: RunResult.Err wraps it
+// (together with the cause passed to Abort) whenever a run was killed
+// mid-flight instead of completing.
+var ErrAborted = errors.New("pgas: run aborted")
+
+// abortPanic is the sentinel panic value a rank goroutine unwinds with when
+// the machine has been aborted; Machine.Run recovers it.
+type abortPanic struct{}
 
 // StageTime records the simulated duration of one named pipeline stage.
 type StageTime struct {
@@ -217,6 +234,50 @@ type RunResult struct {
 	Stats CommStats
 	// Stages lists the named stage timings recorded during the run.
 	Stages []StageTime
+	// Err is non-nil when the run was aborted (Abort or an armed
+	// InjectBarrierFailure fired) instead of running to completion; it wraps
+	// ErrAborted and the abort cause. The other fields then describe the
+	// partial execution up to the abort.
+	Err error
+}
+
+// Abort kills the current run: the given cause is recorded (first caller
+// wins) and every rank unwinds with a recovered panic at its next barrier
+// arrival, including ranks already blocked inside the barrier. Collectives
+// are barrier-synchronized, so no rank can deadlock waiting for a peer that
+// aborted. The machine must not be reused for further runs after an abort.
+func (m *Machine) Abort(cause error) {
+	m.abortMu.Lock()
+	if m.abortErr == nil {
+		if cause == nil {
+			cause = errors.New("no cause given")
+		}
+		m.abortErr = cause
+	}
+	m.abortMu.Unlock()
+	m.barrier.abort()
+}
+
+// AbortErr returns the cause recorded by Abort, or nil if the machine was
+// never aborted.
+func (m *Machine) AbortErr() error {
+	m.abortMu.Lock()
+	defer m.abortMu.Unlock()
+	return m.abortErr
+}
+
+// InjectBarrierFailure arms the mid-collective fault-injection hook: rank 0's
+// n-th Barrier arrival (1-based, counting every barrier it participates in,
+// including those inside collectives) calls Abort(cause) instead of entering
+// the barrier. Pinning the trap to one rank's own deterministic barrier
+// sequence makes the kill point — and therefore the set of checkpoints
+// durable at the kill — reproducible regardless of goroutine scheduling.
+// Must be called before Run.
+func (m *Machine) InjectBarrierFailure(n uint64, cause error) {
+	m.abortMu.Lock()
+	m.trapBarrier = n
+	m.trapErr = cause
+	m.abortMu.Unlock()
 }
 
 // Run executes body once per rank (SPMD style) and blocks until every rank
@@ -238,6 +299,17 @@ func (m *Machine) Run(body func(r *Rank)) RunResult {
 	for _, r := range ranks {
 		go func(r *Rank) {
 			defer wg.Done()
+			// A rank that hits an aborted barrier unwinds with the
+			// abortPanic sentinel; swallow it so the run as a whole can
+			// report the abort. Any other panic is a real bug: re-raise.
+			defer func() {
+				if p := recover(); p != nil {
+					if _, ok := p.(abortPanic); ok {
+						return
+					}
+					panic(p)
+				}
+			}()
 			body(r)
 		}(r)
 	}
@@ -246,6 +318,9 @@ func (m *Machine) Run(body func(r *Rank)) RunResult {
 
 	var res RunResult
 	res.Wall = wall
+	if cause := m.AbortErr(); cause != nil {
+		res.Err = errors.Join(ErrAborted, cause)
+	}
 	for _, r := range ranks {
 		res.Stats.Add(r.stats)
 		if r.clock > res.SimSeconds {
@@ -454,8 +529,29 @@ func (r *Rank) AtomicLoad(handle int) int64 {
 // to the maximum clock among them (plus the barrier cost), modelling the
 // fact that a stage ends only when its slowest rank finishes.
 func (r *Rank) Barrier() {
+	m := r.machine
 	r.stats.Barriers++
-	r.clock = r.machine.barrier.await(r.clock) + r.machine.cfg.Cost.BarrierCost
+	// The fault-injection trap: trapBarrier is armed (if at all) before Run,
+	// so the unsynchronized read cannot race with the write.
+	if r.id == 0 && m.trapBarrier != 0 && r.stats.Barriers == m.trapBarrier {
+		m.Abort(m.trapErr)
+		panic(abortPanic{})
+	}
+	r.clock = m.barrier.await(r.clock) + m.cfg.Cost.BarrierCost
+}
+
+// RestoreState overwrites the rank's simulated clock and resident-bytes
+// meter with values captured by a checkpoint, without charging anything.
+// Checkpoints are written after a stage-end barrier, where the clock is
+// identical on every rank, so restoring the recorded bits puts a resumed run
+// on exactly the simulated timeline the original run was on — the foundation
+// of the bit-identical sim-seconds guarantee across a kill/resume cycle.
+func (r *Rank) RestoreState(clock float64, resident uint64) {
+	r.clock = clock
+	r.resident = resident
+	if resident > r.stats.PeakResidentBytes {
+		r.stats.PeakResidentBytes = resident
+	}
 }
 
 // StageStart returns a token capturing the rank's clock after a barrier; use
@@ -536,6 +632,9 @@ type clockBarrier struct {
 	generation int
 	maxClock   float64
 	results    [2]float64
+	// aborted poisons the barrier: every current and future participant
+	// unwinds with the abortPanic sentinel instead of synchronizing.
+	aborted bool
 }
 
 func newClockBarrier(n int) *clockBarrier {
@@ -545,10 +644,15 @@ func newClockBarrier(n int) *clockBarrier {
 }
 
 // await blocks until all n participants have arrived and returns the maximum
-// clock value among them.
+// clock value among them. If the barrier is (or becomes) aborted, it unwinds
+// with the abortPanic sentinel instead; the deferred unlock keeps the mutex
+// consistent for the remaining participants.
 func (b *clockBarrier) await(clock float64) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.aborted {
+		panic(abortPanic{})
+	}
 	gen := b.generation
 	if clock > b.maxClock {
 		b.maxClock = clock
@@ -562,8 +666,19 @@ func (b *clockBarrier) await(clock float64) float64 {
 		b.cond.Broadcast()
 		return b.results[gen%2]
 	}
-	for gen == b.generation {
+	for gen == b.generation && !b.aborted {
 		b.cond.Wait()
 	}
+	if b.aborted {
+		panic(abortPanic{})
+	}
 	return b.results[gen%2]
+}
+
+// abort poisons the barrier and wakes every waiter.
+func (b *clockBarrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
 }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"mhmgo/internal/seq"
+)
+
+// normTestCommunity builds a small community big enough to satisfy every
+// insert geometry the normalization tests use.
+func normTestCommunity(t *testing.T) *Community {
+	t.Helper()
+	cfg := DefaultCommunityConfig()
+	cfg.NumGenomes = 3
+	cfg.MeanGenomeLen = 9000
+	cfg.StrainFraction = 0
+	cfg.Seed = 17
+	return GenerateCommunity(cfg)
+}
+
+func readsEqual(a, b []seq.Read) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].LibID != b[i].LibID ||
+			!bytes.Equal(a[i].Seq, b[i].Seq) || !bytes.Equal(a[i].Qual, b[i].Qual) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNormalizedEmptyLibraryInheritsGeometry pins the single-empty-library
+// edge case: Libraries: []LibraryConfig{{}} must describe the same library as
+// the no-libraries shorthand, not silently revert to the global defaults.
+func TestNormalizedEmptyLibraryInheritsGeometry(t *testing.T) {
+	cfg := ReadConfig{
+		ReadLen:    120,
+		InsertSize: 500,
+		InsertStd:  40,
+		ErrorRate:  0.01,
+		Coverage:   4,
+		Seed:       7,
+		Libraries:  []LibraryConfig{{}},
+	}
+	lib := cfg.Normalized().Libraries[0]
+	if lib.InsertSize != 500 {
+		t.Errorf("empty library InsertSize = %d, want inherited 500", lib.InsertSize)
+	}
+	if lib.InsertStd != 40 {
+		t.Errorf("empty library InsertStd = %d, want inherited 40", lib.InsertStd)
+	}
+	if lib.ReadLen != 120 || lib.Name != "lib0" || lib.CoverageShare != 1 {
+		t.Errorf("empty library normalized to %+v", lib)
+	}
+
+	// The inherited geometry must also drive emission: an empty library and
+	// an explicitly spelled-out copy of the parent geometry produce
+	// byte-identical reads (both derive the same per-library seed).
+	c := normTestCommunity(t)
+	implicit := SimulateReads(c, cfg)
+	explicit := cfg
+	explicit.Libraries = []LibraryConfig{{ReadLen: 120, InsertSize: 500, InsertStd: 40}}
+	if !readsEqual(implicit, SimulateReads(c, explicit)) {
+		t.Error("empty library emits different reads than the spelled-out parent geometry")
+	}
+
+	// A library that sets only its std keeps it while inheriting the insert.
+	cfg.Libraries = []LibraryConfig{{InsertStd: 33}}
+	lib = cfg.Normalized().Libraries[0]
+	if lib.InsertSize != 500 || lib.InsertStd != 33 {
+		t.Errorf("partial library normalized to insert %d±%d, want 500±33", lib.InsertSize, lib.InsertStd)
+	}
+
+	// A zero-variance parent cannot be inherited (per-library zero means
+	// unset), so the usual InsertSize/10 default applies.
+	cfg.InsertStd = 0
+	cfg.Libraries = []LibraryConfig{{}}
+	lib = cfg.Normalized().Libraries[0]
+	if lib.InsertStd != 50 {
+		t.Errorf("library under a zero-variance parent got std %d, want 50 (insert/10)", lib.InsertStd)
+	}
+
+	// A library with its own InsertSize does NOT inherit the parent std: the
+	// InsertSize/10 default scales with its own geometry.
+	cfg.InsertStd = 40
+	cfg.Libraries = []LibraryConfig{{InsertSize: 1500}}
+	lib = cfg.Normalized().Libraries[0]
+	if lib.InsertStd != 150 {
+		t.Errorf("library with own insert got std %d, want 150 (own insert/10)", lib.InsertStd)
+	}
+}
+
+// TestNormalizedInheritedInsertClamped checks that the 2*ReadLen clamp is
+// re-applied after inheritance when the library reads are longer than the
+// parent's.
+func TestNormalizedInheritedInsertClamped(t *testing.T) {
+	cfg := ReadConfig{
+		ReadLen:    100,
+		InsertSize: 220,
+		Coverage:   4,
+		Libraries:  []LibraryConfig{{ReadLen: 150}},
+	}
+	lib := cfg.Normalized().Libraries[0]
+	if lib.InsertSize != 300 {
+		t.Errorf("inherited InsertSize = %d, want 300 (clamped to 2*library ReadLen)", lib.InsertSize)
+	}
+	if lib.InsertStd != 30 {
+		t.Errorf("InsertStd = %d, want 30 (clamped insert / 10)", lib.InsertStd)
+	}
+}
+
+// TestNormalizedStdAndErrorRateZeroMeaningful pins the top-level rule that
+// zero is a meaningful value for InsertStd (fixed-length fragments) and
+// ErrorRate (perfect reads): only negative values are replaced.
+func TestNormalizedStdAndErrorRateZeroMeaningful(t *testing.T) {
+	norm := ReadConfig{ReadLen: 100, InsertSize: 280, InsertStd: 0, ErrorRate: 0, Coverage: 1}.Normalized()
+	if norm.InsertStd != 0 {
+		t.Errorf("InsertStd 0 replaced with %d; zero variance must survive", norm.InsertStd)
+	}
+	if norm.ErrorRate != 0 {
+		t.Errorf("ErrorRate 0 replaced with %v; error-free must survive", norm.ErrorRate)
+	}
+	norm = ReadConfig{ReadLen: 100, InsertSize: 280, InsertStd: -1, ErrorRate: -0.5, Coverage: 1}.Normalized()
+	if norm.InsertStd != seq.DefaultInsertStd {
+		t.Errorf("negative InsertStd became %d, want default %d", norm.InsertStd, seq.DefaultInsertStd)
+	}
+	if norm.ErrorRate != 0 {
+		t.Errorf("negative ErrorRate became %v, want 0", norm.ErrorRate)
+	}
+	// The insert default is applied before the clamp, so long reads push an
+	// unset insert up to 2*ReadLen rather than keeping the 280 default.
+	norm = ReadConfig{ReadLen: 200, Coverage: 1}.Normalized()
+	if norm.InsertSize != 400 {
+		t.Errorf("unset InsertSize with 200 bp reads = %d, want 400", norm.InsertSize)
+	}
+}
+
+// TestNormalizedIdempotent drives Normalized over the edge cases — zero
+// coverage shares, share normalization, inheritance, clamps — and requires a
+// second application to be the identity. Without this, SimulateReads(cfg)
+// and SimulateReads(cfg.Normalized()) could emit different reads.
+func TestNormalizedIdempotent(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ReadConfig
+	}{
+		{"zero value", ReadConfig{}},
+		{"shorthand", ReadConfig{ReadLen: 80, InsertSize: 200, ErrorRate: 0.01, Coverage: 10, Seed: 3}},
+		{"zero variance", ReadConfig{ReadLen: 100, InsertSize: 300, InsertStd: 0, Coverage: 5}},
+		{"total pairs", ReadConfig{ReadLen: 100, TotalPairs: 500, Seed: 5}},
+		{"single empty library", ReadConfig{ReadLen: 90, InsertSize: 400, InsertStd: 35, Coverage: 6,
+			Libraries: []LibraryConfig{{}}}},
+		{"all shares unset", ReadConfig{ReadLen: 80, Coverage: 9, Seed: 2, Libraries: []LibraryConfig{
+			{InsertSize: 300}, {InsertSize: 900}, {InsertSize: 1500}}}},
+		{"thirds", ReadConfig{ReadLen: 80, Coverage: 9, Libraries: []LibraryConfig{
+			{InsertSize: 300, CoverageShare: 1}, {InsertSize: 900, CoverageShare: 1}, {InsertSize: 1500, CoverageShare: 1}}}},
+		{"unset share remainder", ReadConfig{ReadLen: 80, Coverage: 9, Libraries: []LibraryConfig{
+			{InsertSize: 300, CoverageShare: 0.75}, {InsertSize: 1500}}}},
+		{"over-claiming shares", ReadConfig{ReadLen: 80, Coverage: 9, Libraries: []LibraryConfig{
+			{InsertSize: 300, CoverageShare: 2}, {InsertSize: 1500}}}},
+		{"clamped inheritance", ReadConfig{ReadLen: 100, InsertSize: 220, Coverage: 4,
+			Libraries: []LibraryConfig{{ReadLen: 150}, {InsertSize: 900, CoverageShare: 0.5}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			once := tc.cfg.Normalized()
+			twice := once.Normalized()
+			if !reflect.DeepEqual(once, twice) {
+				t.Fatalf("Normalized is not idempotent:\n once: %+v\ntwice: %+v", once, twice)
+			}
+			var sum float64
+			for _, lib := range once.Libraries {
+				if lib.CoverageShare <= 0 {
+					t.Errorf("library %s normalized to share %v; must be positive", lib.Name, lib.CoverageShare)
+				}
+				sum += lib.CoverageShare
+			}
+			if len(once.Libraries) > 0 && math.Abs(sum-1) > 1e-9 {
+				t.Errorf("normalized shares sum to %v, want 1", sum)
+			}
+		})
+	}
+
+	// Emission-level equivalence: feeding the normalized config back in must
+	// reproduce the original run byte for byte.
+	c := normTestCommunity(t)
+	for _, tc := range cases {
+		if tc.cfg.ReadLen == 0 {
+			continue // the zero-value config simulates at default coverage; skip the expensive run
+		}
+		if !readsEqual(SimulateReads(c, tc.cfg), SimulateReads(c, tc.cfg.Normalized())) {
+			t.Errorf("%s: SimulateReads(cfg) differs from SimulateReads(cfg.Normalized())", tc.name)
+		}
+	}
+}

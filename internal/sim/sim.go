@@ -222,7 +222,12 @@ type LibraryConfig struct {
 	// ReadConfig.ReadLen.
 	ReadLen int
 	// InsertSize and InsertStd describe this library's fragment-length
-	// distribution. InsertSize is clamped to 2*ReadLen (see
+	// distribution. A zero InsertSize inherits the parent ReadConfig's
+	// geometry (InsertSize and, when the library's InsertStd is also unset,
+	// InsertStd), so a single empty LibraryConfig is equivalent to the
+	// no-libraries shorthand. An unset InsertStd otherwise defaults to
+	// InsertSize/10; unlike the top-level field, a per-library zero cannot
+	// request zero variance. InsertSize is clamped to 2*ReadLen (see
 	// ReadConfig.Normalized).
 	InsertSize int
 	InsertStd  int
@@ -243,8 +248,10 @@ type ReadConfig struct {
 	// ReadLen is the length of each read of a pair.
 	ReadLen int
 	// InsertSize and InsertStd describe the fragment-length distribution of
-	// the (single) library. When Libraries is non-empty they are ignored and
-	// each LibraryConfig supplies its own geometry.
+	// the (single) library. When Libraries is non-empty they serve only as
+	// the inherited geometry for entries that leave InsertSize unset.
+	// InsertStd treats zero as meaningful — every fragment is exactly
+	// InsertSize long — and only a negative value takes the default.
 	InsertSize int
 	InsertStd  int
 	// ErrorRate is the per-base substitution error probability.
@@ -283,14 +290,23 @@ func DefaultReadConfig() ReadConfig {
 // Normalized returns the effective configuration SimulateReads will use,
 // with every default and clamp applied explicitly:
 //
-//   - zero fields take the DefaultReadConfig values;
+//   - unset (zero) ReadLen, InsertSize and Coverage take the
+//     DefaultReadConfig values; InsertStd and ErrorRate treat zero as
+//     meaningful (fixed-length fragments, error-free reads) and only
+//     negative values are replaced (the default std and 0 respectively);
 //   - InsertSize is clamped up to 2*ReadLen — a fragment cannot be shorter
 //     than the two reads sequenced from its ends — and the clamped value is
 //     visible in the returned config rather than applied silently;
-//   - each LibraryConfig inherits ReadLen, receives a "libN" name and an
-//     InsertSize/10 std where unset, gets the same 2*ReadLen clamp, and the
-//     CoverageShares are normalized to sum to 1 (an all-zero share list
-//     becomes an even split).
+//   - each LibraryConfig inherits ReadLen and receives a "libN" name where
+//     unset; an entry with no InsertSize inherits the parent geometry
+//     (including the parent InsertStd when its own is unset), so a single
+//     empty LibraryConfig is equivalent to the no-libraries shorthand; any
+//     still-unset std becomes InsertSize/10, the same 2*ReadLen clamp
+//     applies, and the CoverageShares are normalized to sum to 1 (an
+//     all-zero share list becomes an even split).
+//
+// Normalized is idempotent, so SimulateReads(c, cfg) and
+// SimulateReads(c, cfg.Normalized()) produce identical reads.
 //
 // SimulateReads calls it internally; callers that need to know the exact
 // effective geometry (e.g. to configure the assembler to match) should call
@@ -326,7 +342,14 @@ func (cfg ReadConfig) Normalized() ReadConfig {
 				libs[i].ReadLen = cfg.ReadLen
 			}
 			if libs[i].InsertSize <= 0 {
-				libs[i].InsertSize = seq.DefaultInsertSize
+				// An entry with no geometry of its own inherits the parent
+				// config's (already defaulted and clamped above), so
+				// Libraries: []LibraryConfig{{}} matches the no-libraries
+				// shorthand instead of silently taking the global default.
+				libs[i].InsertSize = cfg.InsertSize
+				if libs[i].InsertStd <= 0 && cfg.InsertStd > 0 {
+					libs[i].InsertStd = cfg.InsertStd
+				}
 			}
 			if libs[i].InsertSize < 2*libs[i].ReadLen {
 				libs[i].InsertSize = 2 * libs[i].ReadLen
@@ -359,8 +382,13 @@ func (cfg ReadConfig) Normalized() ReadConfig {
 				}
 			}
 		}
-		for i := range libs {
-			libs[i].CoverageShare /= shareSum
+		// Skip the division when the shares already sum to 1 (within float
+		// drift): dividing by a sum a few ulps off 1 would nudge every share,
+		// making Normalized non-idempotent.
+		if math.Abs(shareSum-1) > 1e-9 {
+			for i := range libs {
+				libs[i].CoverageShare /= shareSum
+			}
 		}
 		cfg.Libraries = libs
 	}
