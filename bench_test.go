@@ -11,11 +11,13 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"mhmgo"
 	"mhmgo/internal/dht"
 	"mhmgo/internal/experiments"
 	"mhmgo/internal/pgas"
+	"mhmgo/internal/sim"
 )
 
 func benchScale() experiments.Scale { return experiments.QuickScale() }
@@ -283,6 +285,80 @@ func BenchmarkDistributedOwnership(b *testing.B) {
 			b.Fatal(err)
 		}
 		if err := os.WriteFile("BENCH_dist.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWallclockScaling measures the cost of SIMULATING large machines,
+// not the simulated machines themselves: it sweeps the virtual rank count P
+// under the pooled scheduler on a fixed workload and records host wall-clock
+// per P, host reads processed per second per core, and the largest P that
+// finished inside the per-point time budget. The pre-scheduler engine fell
+// over well before P=4096 (a goroutine per rank, O(P) scratch per collective
+// call per rank); this benchmark is the regression guard for that capability.
+// Writes BENCH_wallclock.json so CI keeps a machine-readable trajectory.
+func BenchmarkWallclockScaling(b *testing.B) {
+	// Per-point budget: a point that blows this is recorded as infeasible and
+	// ends the sweep, instead of stalling CI.
+	const pointBudget = 10 * time.Minute
+	comm := sim.WetlandsLikeCommunity(4, 0.3, 7)
+	reads := sim.SimulateReads(comm, sim.ReadConfig{
+		ReadLen: 100, InsertSize: 280, InsertStd: 25, ErrorRate: 0.01, Coverage: 4, Seed: 9,
+	})
+	cores := runtime.GOMAXPROCS(0)
+	type point struct {
+		Ranks           int     `json:"ranks"`
+		Nodes           int     `json:"nodes"`
+		WallSeconds     float64 `json:"wall_seconds"`
+		SimSeconds      float64 `json:"sim_seconds"`
+		ReadsPerSecCore float64 `json:"reads_per_sec_per_core"`
+		Scaffolds       int     `json:"scaffolds"`
+	}
+	for i := 0; i < b.N; i++ {
+		var points []point
+		maxFeasible := 0
+		for _, ranks := range []int{64, 256, 1024, 4096} {
+			cfg := mhmgo.DefaultConfig(ranks)
+			cfg.RanksPerNode = 16
+			// One k iteration per point: the sweep probes scheduler overhead
+			// versus P, which is iteration-count independent.
+			cfg.KMin, cfg.KMax = 21, 21
+			start := time.Now()
+			res, err := mhmgo.Assemble(reads, cfg)
+			wall := time.Since(start)
+			if err != nil {
+				b.Fatal(err)
+			}
+			points = append(points, point{
+				Ranks:           ranks,
+				Nodes:           ranks / cfg.RanksPerNode,
+				WallSeconds:     wall.Seconds(),
+				SimSeconds:      res.SimSeconds,
+				ReadsPerSecCore: float64(len(reads)) / wall.Seconds() / float64(cores),
+				Scaffolds:       len(res.FinalSequences()),
+			})
+			if wall > pointBudget {
+				break
+			}
+			maxFeasible = ranks
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(float64(maxFeasible), "max_feasible_ranks")
+		b.ReportMetric(last.WallSeconds, "wall_s_at_largest_P")
+		b.ReportMetric(last.ReadsPerSecCore, "reads_per_sec_per_core")
+		report := map[string]any{
+			"reads":              len(reads),
+			"cores":              cores,
+			"workers":            cores,
+			"max_feasible_ranks": maxFeasible,
+			"points":             points,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_wallclock.json", append(data, '\n'), 0o644); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -27,6 +27,23 @@ import (
 	"mhmgo/internal/seq"
 )
 
+// validateMachineShape checks the -ranks/-ranks-per-node pair. Every rank
+// must exist (ranks >= 1) and the ranks must tile whole virtual nodes: a
+// ranks-per-node that does not divide ranks would leave a ragged final node,
+// which the cost model's on/off-node distinction does not support.
+func validateMachineShape(ranks, ranksPerNode int) error {
+	if ranks < 1 {
+		return fmt.Errorf("-ranks must be >= 1 (got %d)", ranks)
+	}
+	if ranksPerNode < 1 {
+		return fmt.Errorf("-ranks-per-node must be >= 1 (got %d)", ranksPerNode)
+	}
+	if ranks%ranksPerNode != 0 {
+		return fmt.Errorf("-ranks-per-node (%d) must divide -ranks (%d); choose a node size that tiles the machine", ranksPerNode, ranks)
+	}
+	return nil
+}
+
 // parseIntList parses a comma-separated integer list ("300,1500").
 func parseIntList(s string) ([]int, error) {
 	if s == "" {
@@ -50,6 +67,7 @@ func main() {
 		out          = flag.String("out", "scaffolds.fasta", "output FASTA file")
 		ranks        = flag.Int("ranks", 8, "virtual PGAS ranks")
 		ranksPerNode = flag.Int("ranks-per-node", 4, "ranks per virtual node")
+		workers      = flag.Int("workers", 0, "OS worker threads driving the simulated ranks (0 = GOMAXPROCS); affects wall time only, never results")
 		kmin         = flag.Int("kmin", 21, "smallest k-mer size")
 		kmax         = flag.Int("kmax", 33, "largest k-mer size")
 		kstep        = flag.Int("kstep", 12, "k-mer size step")
@@ -66,6 +84,9 @@ func main() {
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := validateMachineShape(*ranks, *ranksPerNode); err != nil {
+		log.Fatalf("mhm: %v", err)
 	}
 
 	files := strings.Split(*in, ",")
@@ -120,6 +141,7 @@ func main() {
 
 	cfg := core.DefaultConfig(*ranks)
 	cfg.RanksPerNode = *ranksPerNode
+	cfg.Workers = *workers
 	cfg.KMin, cfg.KMax, cfg.KStep = *kmin, *kmax, *kstep
 	cfg.Libraries = libs
 	cfg.InsertSize, cfg.InsertStd = libs[0].InsertSize, libs[0].InsertStd

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateMachineShape(t *testing.T) {
+	cases := []struct {
+		name         string
+		ranks        int
+		ranksPerNode int
+		wantErr      string // substring of the error, "" = valid
+	}{
+		{"single rank", 1, 1, ""},
+		{"default shape", 8, 4, ""},
+		{"one node", 8, 8, ""},
+		{"large P", 4096, 16, ""},
+		{"zero ranks", 0, 4, "-ranks must be >= 1"},
+		{"negative ranks", -3, 4, "-ranks must be >= 1"},
+		{"zero ranks per node", 8, 0, "-ranks-per-node must be >= 1"},
+		{"negative ranks per node", 8, -1, "-ranks-per-node must be >= 1"},
+		{"ragged final node", 8, 3, "must divide"},
+		{"rpn larger than ranks", 4, 8, "must divide"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateMachineShape(tc.ranks, tc.ranksPerNode)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateMachineShape(%d, %d) = %v, want nil", tc.ranks, tc.ranksPerNode, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateMachineShape(%d, %d) = nil, want error containing %q", tc.ranks, tc.ranksPerNode, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateMachineShape(%d, %d) = %q, want it to contain %q", tc.ranks, tc.ranksPerNode, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -75,9 +75,17 @@ func TestDocsRequiredCrossLinks(t *testing.T) {
 	// back at the design section.
 	sections := map[string][]string{
 		"DESIGN.md": {"## 8. Checkpoint/restart and run provenance",
-			"MANIFEST.json", "FailAtBarrier", "ErrCorruptShard"},
+			"MANIFEST.json", "FailAtBarrier", "ErrCorruptShard",
+			// The pooled-scheduler documentation: the design notes own the
+			// execution-vs-simulation separation and the O(P) collective
+			// rules.
+			"### Pooled scheduler", "Config.Workers", "bit-identical",
+			"BENCH_wallclock.json"},
 		"TUTORIAL.md": {"## 6. Surviving a mid-run kill",
-			"-fail-after-stage", "manifest head", "DESIGN.md) §8"},
+			"-fail-after-stage", "manifest head", "DESIGN.md) §8",
+			// The tutorial owns the practical guidance on -workers and the
+			// wall-clock trajectory file.
+			"-workers", "BENCH_wallclock.json", "max_feasible_ranks"},
 	}
 	for doc, wants := range sections {
 		data, err := os.ReadFile(doc)

@@ -2,10 +2,18 @@
 // fixed, uneven (soil-like) community on increasing virtual node counts and
 // print the strong-scaling curve (speedup and efficiency in simulated
 // seconds) plus the per-stage runtime breakdown.
+//
+// By default it sweeps 2, 4, 8 and 16 nodes (8–64 ranks at 4 ranks per
+// node). Pass node counts as arguments to sweep other machine sizes — the
+// pooled scheduler makes even P=4096 cheap to simulate on a laptop:
+//
+//	go run ./examples/wetlands_scaling 256 1024   # P=1024, P=4096
 package main
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 
 	"mhmgo/internal/core"
 	"mhmgo/internal/pgas"
@@ -13,6 +21,19 @@ import (
 )
 
 func main() {
+	nodeCounts := []int{2, 4, 8, 16}
+	if args := os.Args[1:]; len(args) > 0 {
+		nodeCounts = nodeCounts[:0]
+		for _, a := range args {
+			n, err := strconv.Atoi(a)
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "usage: wetlands_scaling [node counts...]; bad node count %q\n", a)
+				os.Exit(2)
+			}
+			nodeCounts = append(nodeCounts, n)
+		}
+	}
+
 	comm := sim.WetlandsLikeCommunity(48, 0.5, 7)
 	reads := sim.SimulateReads(comm, sim.ReadConfig{
 		ReadLen: 100, InsertSize: 280, InsertStd: 25, ErrorRate: 0.01, Coverage: 12, Seed: 8,
@@ -23,7 +44,7 @@ func main() {
 	const ranksPerNode = 4
 	var baseline float64
 	fmt.Println("Nodes  Ranks  SimSeconds  Speedup  Efficiency")
-	for _, nodes := range []int{2, 4, 8, 16} {
+	for _, nodes := range nodeCounts {
 		cfg := core.DefaultConfig(nodes * ranksPerNode)
 		cfg.RanksPerNode = ranksPerNode
 		res, err := core.Assemble(reads, cfg)

@@ -178,12 +178,16 @@ func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts
 	creader := idx.Contigs.NewReader(r, contigCache)
 	var out []Alignment
 	var stats AlignStats
+	// Per-rank scratch reused across every read aligned by this call: the
+	// dedup map and the sorted-hits copy would otherwise be reallocated once
+	// (or more) per read.
+	scratch := &alignScratch{tried: make(map[[3]int]bool)}
 	for i, read := range reads {
 		if opts.OnlyLib != nil && read.LibID != *opts.OnlyLib {
 			continue
 		}
 		stats.ReadsTotal++
-		best, found := alignOne(r, idx, reader, creader, read, opts)
+		best, found := alignOne(r, idx, reader, creader, read, opts, scratch)
 		if found {
 			best.ReadIdx = readOffset + i
 			best.ReadID = read.ID
@@ -199,12 +203,19 @@ func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts
 	return out, stats
 }
 
+// alignScratch holds per-rank buffers reused across alignOne calls.
+type alignScratch struct {
+	tried map[[3]int]bool // (contig, diagonal, strand) triples already extended
+	hits  []SeedHit       // sorted copy of a seed's hit list
+}
+
 // alignOne seeds and extends one read, returning its best alignment.
-func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []SeedHit], creader *dist.Reader[dbg.Contig], read seq.Read, opts Options) (Alignment, bool) {
+func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []SeedHit], creader *dist.Reader[dbg.Contig], read seq.Read, opts Options, scratch *alignScratch) (Alignment, bool) {
 	var best Alignment
 	var bestContig dbg.Contig
 	found := false
-	tried := make(map[[3]int]bool)
+	tried := scratch.tried
+	clear(tried)
 	it := seq.NewKmerIter(read.Seq, opts.SeedLen)
 	nextSeedAt := 0
 	for {
@@ -229,7 +240,8 @@ func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []See
 		// contig fetches (cache hits/misses and their clock costs) is
 		// deterministic, not just the chosen best alignment.
 		if len(hits) > 1 {
-			hits = append([]SeedHit(nil), hits...)
+			scratch.hits = append(scratch.hits[:0], hits...)
+			hits = scratch.hits
 			sort.Slice(hits, func(i, j int) bool {
 				if hits[i].ContigID != hits[j].ContigID {
 					return hits[i].ContigID < hits[j].ContigID

@@ -473,7 +473,14 @@ func newCkptWriter(dir string, ranks int, man *checkpoint.Manifest) (*ckptWriter
 // rank 0, completes the step: waits until every rank deposited, appends the
 // chained step record and saves the manifest atomically. Write errors are
 // latched (first error wins) and the chain is not extended past them.
-func (w *ckptWriter) record(rank, iteration int, stage string, k int, payload []byte) {
+//
+// The rendezvous is scheduler-aware: rank 0's wait is a plain cond.Wait, and
+// the ranks it waits for may themselves be parked waiting for a worker-pool
+// slot, so rank 0 detaches from the pool for the duration of the wait (and
+// the manifest I/O) — holding the slot across it would deadlock a Workers=1
+// pool outright.
+func (w *ckptWriter) record(r *pgas.Rank, iteration int, stage string, k int, payload []byte) {
+	rank := r.ID()
 	w.mu.Lock()
 	seqNo := len(w.man.Steps)
 	w.mu.Unlock()
@@ -481,15 +488,19 @@ func (w *ckptWriter) record(rank, iteration int, stage string, k int, payload []
 	hash, err := checkpoint.WriteShard(checkpoint.ShardPath(w.dir, seqNo, stage, rank), payload)
 
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if err != nil && w.err == nil {
 		w.err = err
 	}
 	w.cur[rank] = hash
 	w.cond.Broadcast()
 	if rank != 0 {
+		w.mu.Unlock()
 		return
 	}
+	w.mu.Unlock()
+
+	r.Detach()
+	w.mu.Lock()
 	for len(w.cur) < w.ranks {
 		w.cond.Wait()
 	}
@@ -498,13 +509,14 @@ func (w *ckptWriter) record(rank, iteration int, stage string, k int, payload []
 		hashes[p] = h
 	}
 	w.cur = make(map[int]string)
-	if w.err != nil {
-		return
+	if w.err == nil {
+		w.man.AppendStep(iteration, stage, k, hashes)
+		if err := w.man.Save(w.dir); err != nil && w.err == nil {
+			w.err = err
+		}
 	}
-	w.man.AppendStep(iteration, stage, k, hashes)
-	if err := w.man.Save(w.dir); err != nil && w.err == nil {
-		w.err = err
-	}
+	w.mu.Unlock()
+	r.Reattach()
 }
 
 // head returns the manifest's current chain head.

@@ -42,6 +42,12 @@ type Config struct {
 	// CostSet uses Cost verbatim even when it is the zero model (the
 	// free-communication ablation); see pgas.Config.CostSet.
 	CostSet bool
+	// Workers bounds how many simulated ranks run concurrently as OS
+	// threads (see pgas.Config.Workers). It is an execution knob, not a
+	// simulation parameter: results, simulated time, and checkpoint
+	// identity (configHash) are independent of it, so a run checkpointed
+	// under one worker count can resume under another.
+	Workers int
 
 	// Iterative contig generation: k runs from KMin to KMax in steps of
 	// KStep (Algorithm 1).
@@ -351,7 +357,7 @@ func Assemble(reads []seq.Read, cfg Config) (*Result, error) {
 		}
 	}
 
-	machine := pgas.NewMachine(pgas.Config{Ranks: cfg.Ranks, RanksPerNode: cfg.RanksPerNode, Cost: cfg.Cost, CostSet: cfg.CostSet})
+	machine := pgas.NewMachine(pgas.Config{Ranks: cfg.Ranks, RanksPerNode: cfg.RanksPerNode, Cost: cfg.Cost, CostSet: cfg.CostSet, Workers: cfg.Workers})
 	res := &Result{TotalReads: len(reads)}
 
 	// Checkpoint/restart context. Resume validation, shard decoding and the
@@ -578,7 +584,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 				}
 				st.rounds = out.scaffoldRounds
 			}
-			ck.writer.record(r.ID(), it, stageNames[stage], k, encodeRankState(&st))
+			ck.writer.record(r, it, stageNames[stage], k, encodeRankState(&st))
 		}
 		if cfg.FailAfterStage == stageNames[stage] && cfg.FailAtIteration == it {
 			out.failed = true
@@ -839,7 +845,6 @@ func sortContigOrder(contigs []dbg.Contig, order []int) {
 // for the received pairs — the caller releases them when the read set is
 // next replaced.
 func localizePairs(r *pgas.Rank, cset *dbg.ContigSet, reads []seq.Read, readOffset int, aligns []aligner.Alignment) ([]seq.Read, int, int) {
-	p := r.NRanks()
 	// Destination per local pair, defaulting to the current rank.
 	nPairs := len(reads) / 2
 	dest := make([]int, nPairs)
@@ -857,23 +862,22 @@ func localizePairs(r *pgas.Rank, cset *dbg.ContigSet, reads []seq.Read, readOffs
 			dest[pair] = owner
 		}
 	}
-	out := make([][]pairMsg, p)
+	msgs := make([]pairMsg, nPairs)
 	for i := 0; i < nPairs; i++ {
-		out[dest[i]] = append(out[dest[i]], pairMsg{R1: reads[2*i], R2: reads[2*i+1], Dest: dest[i]})
+		msgs[i] = pairMsg{R1: reads[2*i], R2: reads[2*i+1], Dest: dest[i]}
 	}
 	// A trailing unpaired read (odd count) stays local.
 	var tail []seq.Read
 	if len(reads)%2 == 1 {
 		tail = append(tail, reads[len(reads)-1])
 	}
-	incoming := pgas.AllToAllV(r, out, pairMsg.WireSize)
+	incoming := pgas.ExchangeFunc(r, msgs,
+		func(_ int, pm pairMsg) int { return pm.Dest }, pairMsg.WireSize)
 	var newReads []seq.Read
 	receivedBytes := 0
-	for _, batch := range incoming {
-		for _, pm := range batch {
-			newReads = append(newReads, pm.R1, pm.R2)
-			receivedBytes += pm.WireSize()
-		}
+	for _, pm := range incoming {
+		newReads = append(newReads, pm.R1, pm.R2)
+		receivedBytes += pm.WireSize()
 	}
 	newReads = append(newReads, tail...)
 	// The new global offset is the exclusive prefix sum of the per-rank

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with -race. The
+// large-P scheduler smoke tests are skipped under the race detector: its
+// per-goroutine shadow memory makes P=1024 rank goroutines prohibitively
+// expensive, and the P<=8 tests already race-check the same scheduler paths.
+const raceEnabled = true

@@ -63,6 +63,21 @@ func CanonicalSeq(s []byte) []byte {
 	return s
 }
 
+// greaterThanRC reports whether s sorts strictly after its reverse complement,
+// without materializing it. Equivalent to
+// string(s) > string(seq.ReverseComplement(s)) — the walk orientation check in
+// Traverse only needs the comparison, not the complemented sequence, and the
+// in-place form avoids an O(len) allocation per walked path.
+func greaterThanRC(s []byte) bool {
+	for i := range s {
+		c := seq.ComplementChar(s[len(s)-1-i])
+		if s[i] != c {
+			return s[i] > c
+		}
+	}
+	return false
+}
+
 // ThresholdOptions selects how the high-quality extension threshold is
 // computed when classifying extensions.
 type ThresholdOptions struct {
@@ -261,8 +276,7 @@ func Traverse(r *pgas.Rank, g *Graph, opts TraverseOptions) []Contig {
 			}
 			// Emit each path once: only from the end whose sequence is the
 			// canonical orientation (ties broken towards emitting).
-			rc := seq.ReverseComplement(contigSeq)
-			if string(contigSeq) > string(rc) {
+			if greaterThanRC(contigSeq) {
 				continue
 			}
 			out = append(out, Contig{Seq: contigSeq, Depth: seq.MeanDepthFromCounts(counts)})

@@ -18,20 +18,7 @@ func Route[T any](r *pgas.Rank, items []T, ownerOf func(T) int, bytesPerItem int
 // RouteFunc is Route for items whose wire sizes vary (reads, contigs):
 // sizeOf reports the wire bytes of one item.
 func RouteFunc[T any](r *pgas.Rank, items []T, ownerOf func(T) int, sizeOf func(T) int) []T {
-	p := r.NRanks()
-	out := make([][]T, p)
-	for _, item := range items {
-		dest := ownerOf(item) % p
-		if dest < 0 {
-			dest += p
-		}
-		out[dest] = append(out[dest], item)
-	}
 	r.Compute(float64(len(items)))
-	incoming := pgas.AllToAllV(r, out, sizeOf)
-	var merged []T
-	for _, batch := range incoming {
-		merged = append(merged, batch...)
-	}
-	return merged
+	return pgas.ExchangeFunc(r, items,
+		func(_ int, item T) int { return ownerOf(item) }, sizeOf)
 }

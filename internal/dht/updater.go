@@ -17,10 +17,16 @@ type kvPair[K comparable, V any] struct {
 // destination partition is taken at most once per flush instead of once per
 // entry.
 type Updater[K comparable, V any] struct {
-	m         *Map[K, V]
-	r         *pgas.Rank
-	combine   func(existing V, update V, found bool) V
-	batches   [][]kvPair[K, V]
+	m       *Map[K, V]
+	r       *pgas.Rank
+	combine func(existing V, update V, found bool) V
+	// batches buffers updates by destination rank. It is a map, not a
+	// P-length slice: a P-slice per updater per rank is O(P²) machine-wide
+	// (≈400 MB of slice headers alone at P=4096), while the map stays
+	// proportional to the destinations this rank actually talks to between
+	// flushes. Flush order is never derived from map iteration (FlushAll
+	// walks rank IDs), so determinism is unaffected.
+	batches   map[int][]kvPair[K, V]
 	byStripe  [][]kvPair[K, V] // reusable flush scratch, indexed by stripe
 	touched   []uint32         // stripes used by the current flush
 	batchSize int
@@ -42,7 +48,7 @@ func (m *Map[K, V]) NewUpdater(r *pgas.Rank, combine func(existing V, update V, 
 		m:         m,
 		r:         r,
 		combine:   combine,
-		batches:   make([][]kvPair[K, V], m.machine.Ranks()),
+		batches:   make(map[int][]kvPair[K, V]),
 		byStripe:  make([][]kvPair[K, V], m.stripeCount),
 		batchSize: batchSize,
 		aggregate: aggregate,
@@ -52,13 +58,14 @@ func (m *Map[K, V]) NewUpdater(r *pgas.Rank, combine func(existing V, update V, 
 // Update buffers one commutative update for key.
 func (u *Updater[K, V]) Update(key K, val V) {
 	dest, si := u.m.ownerAndStripe(key)
-	u.batches[dest] = append(u.batches[dest], kvPair[K, V]{
+	batch := append(u.batches[dest], kvPair[K, V]{
 		key:    key,
 		val:    val,
 		stripe: uint32(si),
 	})
+	u.batches[dest] = batch
 	u.pending++
-	if !u.aggregate || len(u.batches[dest]) >= u.batchSize {
+	if !u.aggregate || len(batch) >= u.batchSize {
 		u.flushDest(dest)
 	}
 }
@@ -75,7 +82,7 @@ func (u *Updater[K, V]) Flush() { u.FlushAll() }
 // the flushes across all partitions. The updates are commutative, so the
 // order does not affect the result.
 func (u *Updater[K, V]) FlushAll() {
-	p := len(u.batches)
+	p := u.m.machine.Ranks()
 	start := u.r.ID()
 	for i := 0; i < p; i++ {
 		u.flushDest((start + i) % p)

@@ -105,19 +105,9 @@ func NewIndexed[T any](r *pgas.Rank, local []T, destOf func(src, i int, item T) 
 			r.Compute(float64(len(batch)))
 		}
 	default:
-		outgoing := make([][]T, p)
-		for i, item := range local {
-			d := destOf(r.ID(), i, item) % p
-			if d < 0 {
-				d += p
-			}
-			outgoing[d] = append(outgoing[d], item)
-		}
 		r.Compute(float64(len(local)))
-		incoming := pgas.AllToAllV(r, outgoing, wire)
-		for _, batch := range incoming {
-			shard = append(shard, batch...)
-		}
+		shard = pgas.ExchangeFunc(r, local,
+			func(i int, item T) int { return destOf(r.ID(), i, item) }, wire)
 	}
 	s.shards[r.ID()] = shard
 	r.Barrier()
@@ -454,22 +444,12 @@ func Exchange[T any](r *pgas.Rank, items []T, ownerOf func(T) int, wire func(T) 
 		r.ReleaseResident(total)
 		return merged
 	}
-	outgoing := make([][]T, p)
-	for _, item := range items {
-		d := ownerOf(item) % p
-		if d < 0 {
-			d += p
-		}
-		outgoing[d] = append(outgoing[d], item)
-	}
 	r.Compute(float64(len(items)))
-	incoming := pgas.AllToAllV(r, outgoing, wire)
+	merged = pgas.ExchangeFunc(r, items,
+		func(_ int, item T) int { return ownerOf(item) }, wire)
 	received := 0
-	for _, batch := range incoming {
-		for _, item := range batch {
-			received += wire(item)
-		}
-		merged = append(merged, batch...)
+	for _, item := range merged {
+		received += wire(item)
 	}
 	r.ReleaseResident(received)
 	return merged

@@ -150,26 +150,23 @@ func (d *Distributed[K]) Owner(key K) int {
 // owner ranks with one aggregated all-to-all exchange and folds them into the
 // owners' local count tables. Collective: every rank must call it.
 func (d *Distributed[K]) AddAll(r *pgas.Rank, keys []K, weights []int64) {
-	p := r.NRanks()
-	out := make([][]weighted[K], p)
+	obs := make([]weighted[K], len(keys))
 	for i, k := range keys {
 		var w int64 = 1
 		if weights != nil {
 			w = weights[i]
 		}
-		dest := d.Owner(k)
-		out[dest] = append(out[dest], weighted[K]{Key: k, N: w})
+		obs[i] = weighted[K]{Key: k, N: w}
 	}
 	r.Compute(float64(len(keys)))
-	incoming := pgas.AllToAll(r, out, 24)
+	merged := pgas.ExchangeFunc(r, obs,
+		func(_ int, kv weighted[K]) int { return d.Owner(kv.Key) },
+		func(weighted[K]) int { return 24 })
 	mine := d.local[r.ID()]
-	n := 0
-	for _, batch := range incoming {
-		for _, kv := range batch {
-			mine[kv.Key] += kv.N
-			n++
-		}
+	for _, kv := range merged {
+		mine[kv.Key] += kv.N
 	}
+	n := len(merged)
 	r.Compute(float64(n))
 	// The exchanged pairs are folded into the count table; return the
 	// transient payload's resident charge to the meter.

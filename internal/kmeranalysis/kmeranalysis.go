@@ -137,14 +137,17 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 		hh = histo.NewHeavyHitters[seq.Kmer](opts.HeavyHitterCapacity)
 	}
 	for _, read := range reads {
-		obs := extractObservations(read, opts)
+		// Append-style extraction grows one per-rank buffer instead of
+		// allocating (and then copying) a fresh observation slice per read.
+		start := len(local)
+		local = appendObservations(local, read, opts)
+		obs := local[start:]
 		totalLocal += int64(len(obs))
 		if hh != nil {
 			for _, o := range obs {
 				hh.Add(o.Kmer, 1)
 			}
 		}
-		local = append(local, obs...)
 		r.Compute(float64(len(read.Seq)))
 	}
 
@@ -280,13 +283,16 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 	return res
 }
 
-// extractObservations splits one read into canonical k-mer observations.
-func extractObservations(read seq.Read, opts Options) []observation {
+// appendObservations splits one read into canonical k-mer observations and
+// appends them to dst, returning the extended slice. The append form (same
+// discipline as seq.AppendCanonicalKmers) lets the caller accumulate a whole
+// read set into one per-rank buffer with no per-read allocation.
+func appendObservations(dst []observation, read seq.Read, opts Options) []observation {
 	k := opts.K
 	if len(read.Seq) < k {
-		return nil
+		return dst
 	}
-	var out []observation
+	out := dst
 	it := seq.NewKmerIter(read.Seq, k)
 	for {
 		km, off, ok := it.Next()

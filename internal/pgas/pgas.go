@@ -3,11 +3,12 @@
 //
 // The original MetaHipMer is written in Unified Parallel C and runs on a Cray
 // supercomputer. Here the same SPMD programming model is reproduced inside a
-// single process: a Machine hosts P ranks, each executed by its own
-// goroutine, grouped into virtual nodes. Ranks communicate through the
-// higher-level data structures (distributed hash tables, all-to-all
-// exchanges, global atomics) which are all built on the primitives in this
-// package.
+// single process: a Machine hosts P ranks, each with its own goroutine,
+// grouped into virtual nodes, with a pooled scheduler (see scheduler.go)
+// admitting only Config.Workers of them as runnable at a time so P can reach
+// into the thousands. Ranks communicate through the higher-level data
+// structures (distributed hash tables, all-to-all exchanges, global atomics)
+// which are all built on the primitives in this package.
 //
 // Every remote operation is metered. A configurable cost model converts the
 // metered operations into a deterministic *simulated* execution time per
@@ -21,6 +22,7 @@ package pgas
 
 import (
 	"errors"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -68,6 +70,12 @@ type Config struct {
 	// RanksPerNode groups ranks into virtual nodes; communication between
 	// ranks on the same node is cheaper. Defaults to Ranks (single node).
 	RanksPerNode int
+	// Workers bounds how many rank goroutines are runnable at once (the
+	// pooled scheduler's slot count). Defaults to GOMAXPROCS and is clamped
+	// to Ranks. Workers is an execution knob, not a simulation parameter:
+	// simulated seconds, outputs and statistics are bit-identical for every
+	// value, only wall-clock time and memory pressure change.
+	Workers int
 	// Cost is the simulated cost model. The zero value means DefaultCostModel
 	// unless CostSet is true.
 	Cost CostModel
@@ -85,6 +93,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RanksPerNode <= 0 || c.RanksPerNode > c.Ranks {
 		c.RanksPerNode = c.Ranks
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Ranks {
+		c.Workers = c.Ranks
 	}
 	if !c.CostSet && c.Cost == (CostModel{}) {
 		c.Cost = DefaultCostModel()
@@ -147,9 +161,19 @@ func (s *CommStats) Add(other CommStats) {
 type Machine struct {
 	cfg Config
 
-	barrier     *clockBarrier
-	exchangeBuf [][]any // [dest][src] slots for all-to-all exchanges
-	gatherBuf   []any   // one slot per rank, shared by the collectives
+	barrier   *clockBarrier
+	sched     *scheduler
+	inboxes   []exchInbox // per-destination mailboxes of the exchanges
+	gatherBuf []collSlot  // one deposit slot per rank, shared by the collectives
+
+	// Shared collective scratch: written once per collective by the rank
+	// that completes the entry barrier (under the barrier lock, see
+	// Rank.barrierOn) and read by every rank between the entry and exit
+	// barriers. Replaces the historical fresh make([]T, P) per call per
+	// rank, which made a collective round O(P²) transient allocation.
+	collResult any
+	collTotal  int
+	collPrefix []int // cumulative payload bytes by rank; collPrefix[0] == 0
 
 	atomicMu sync.Mutex
 	atomics  []int64
@@ -188,11 +212,10 @@ func NewMachine(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
 	m := &Machine{cfg: cfg}
 	m.barrier = newClockBarrier(cfg.Ranks)
-	m.exchangeBuf = make([][]any, cfg.Ranks)
-	for i := range m.exchangeBuf {
-		m.exchangeBuf[i] = make([]any, cfg.Ranks)
-	}
-	m.gatherBuf = make([]any, cfg.Ranks)
+	m.sched = newScheduler(cfg.Workers)
+	m.inboxes = make([]exchInbox, cfg.Ranks)
+	m.gatherBuf = make([]collSlot, cfg.Ranks)
+	m.collPrefix = make([]int, cfg.Ranks+1)
 	return m
 }
 
@@ -206,6 +229,10 @@ func (m *Machine) Nodes() int {
 
 // RanksPerNode returns the configured ranks-per-node.
 func (m *Machine) RanksPerNode() int { return m.cfg.RanksPerNode }
+
+// Workers returns the effective worker-pool size (after defaulting to
+// GOMAXPROCS and clamping to Ranks).
+func (m *Machine) Workers() int { return m.cfg.Workers }
 
 // Cost returns the machine's cost model.
 func (m *Machine) Cost() CostModel { return m.cfg.Cost }
@@ -255,7 +282,10 @@ func (m *Machine) Abort(cause error) {
 		m.abortErr = cause
 	}
 	m.abortMu.Unlock()
+	// Poison the barrier before unbounding the pool: a rank woken by the
+	// scheduler's abort drain must already observe the aborted barrier.
 	m.barrier.abort()
+	m.sched.abort()
 }
 
 // AbortErr returns the cause recorded by Abort, or nil if the machine was
@@ -291,7 +321,7 @@ func (m *Machine) Run(body func(r *Rank)) RunResult {
 
 	ranks := make([]*Rank, m.cfg.Ranks)
 	for i := range ranks {
-		ranks[i] = &Rank{machine: m, id: i, node: m.NodeOf(i)}
+		ranks[i] = &Rank{machine: m, id: i, node: m.NodeOf(i), token: newParkToken()}
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -310,6 +340,17 @@ func (m *Machine) Run(body func(r *Rank)) RunResult {
 					panic(p)
 				}
 			}()
+			// Give the slot back on every exit path (return, abort unwind,
+			// real panic); barrier waits release it themselves and reclaim
+			// it on wake, tracked by hasSlot.
+			defer func() {
+				if r.hasSlot {
+					r.hasSlot = false
+					m.sched.release()
+				}
+			}()
+			m.sched.acquire(r.token)
+			r.hasSlot = true
 			body(r)
 		}(r)
 	}
@@ -367,6 +408,12 @@ type Rank struct {
 	clock    float64
 	resident uint64
 	stats    CommStats
+
+	// Pooled-scheduler state: the rank's parking token and whether it
+	// currently holds a worker slot. Touched only by the rank's own
+	// goroutine.
+	token   *parkToken
+	hasSlot bool
 }
 
 // ID returns the rank index in [0, NRanks).
@@ -528,7 +575,13 @@ func (r *Rank) AtomicLoad(handle int) int64 {
 // Barrier synchronizes all ranks and advances every rank's simulated clock
 // to the maximum clock among them (plus the barrier cost), modelling the
 // fact that a stage ends only when its slowest rank finishes.
-func (r *Rank) Barrier() {
+func (r *Rank) Barrier() { r.barrierOn(nil) }
+
+// barrierOn is Barrier with an optional completion hook: onComplete runs
+// exactly once per barrier epoch, on the goroutine of the last-arriving
+// rank, under the barrier lock, before any waiter wakes. The collectives use
+// it to compute their shared result once instead of once per rank.
+func (r *Rank) barrierOn(onComplete func()) {
 	m := r.machine
 	r.stats.Barriers++
 	// The fault-injection trap: trapBarrier is armed (if at all) before Run,
@@ -537,7 +590,31 @@ func (r *Rank) Barrier() {
 		m.Abort(m.trapErr)
 		panic(abortPanic{})
 	}
-	r.clock = m.barrier.await(r.clock) + m.cfg.Cost.BarrierCost
+	r.clock = m.barrier.await(r, r.clock, onComplete) + m.cfg.Cost.BarrierCost
+}
+
+// Detach releases the rank's worker-pool slot without blocking, for code
+// that is about to block on something *other than* a pgas barrier — the
+// checkpoint writer's deposit rendezvous is the canonical case: rank 0 waits
+// on a condition variable for deposits from ranks that may themselves be
+// parked waiting for a slot, so holding the slot across that wait would
+// deadlock a Workers=1 pool. A detached rank must not issue pgas operations;
+// call Reattach before continuing. Detach/Reattach nest safely (they are
+// no-ops when the slot is already released/held).
+func (r *Rank) Detach() {
+	if r.hasSlot {
+		r.hasSlot = false
+		r.machine.sched.release()
+	}
+}
+
+// Reattach blocks until a worker-pool slot is free again and reclaims it,
+// undoing Detach.
+func (r *Rank) Reattach() {
+	if !r.hasSlot {
+		r.machine.sched.acquire(r.token)
+		r.hasSlot = true
+	}
 }
 
 // RestoreState overwrites the rank's simulated clock and resident-bytes
@@ -623,62 +700,106 @@ func SortStages(stages []StageTime) []StageTime {
 }
 
 // clockBarrier is a reusable barrier that also synchronizes the simulated
-// clocks of the participating ranks to the maximum value.
+// clocks of the participating ranks to the maximum value. It is integrated
+// with the pooled scheduler: a waiting rank hands its worker slot to the
+// ranks still short of the barrier and reclaims one when the epoch
+// completes, so a Workers=1 pool still drains every barrier.
 type clockBarrier struct {
-	mu         sync.Mutex
-	cond       *sync.Cond
-	n          int
-	count      int
-	generation int
-	maxClock   float64
-	results    [2]float64
+	mu       sync.Mutex
+	n        int
+	count    int
+	maxClock float64
+	// waiters are the parked arrivals of the current epoch; spare is the
+	// previous epoch's list, recycled to avoid an O(P) allocation per
+	// barrier.
+	waiters []*parkToken
+	spare   []*parkToken
 	// aborted poisons the barrier: every current and future participant
 	// unwinds with the abortPanic sentinel instead of synchronizing.
 	aborted bool
 }
 
 func newClockBarrier(n int) *clockBarrier {
-	b := &clockBarrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &clockBarrier{n: n}
+}
+
+func (b *clockBarrier) isAborted() bool {
+	b.mu.Lock()
+	a := b.aborted
+	b.mu.Unlock()
+	return a
 }
 
 // await blocks until all n participants have arrived and returns the maximum
-// clock value among them. If the barrier is (or becomes) aborted, it unwinds
-// with the abortPanic sentinel instead; the deferred unlock keeps the mutex
-// consistent for the remaining participants.
-func (b *clockBarrier) await(clock float64) float64 {
+// clock value among them. The last arriver runs onComplete (if any) under
+// the barrier lock before publishing the result and waking the waiters; a
+// non-last arriver releases its worker slot while parked and wakes already
+// holding one (the wake-up and the slot grant are fused, see
+// scheduler.unparkGranting). If the barrier is (or becomes) aborted, await
+// unwinds with the abortPanic sentinel instead, without holding a slot
+// (Run's cleanup consults Rank.hasSlot).
+func (b *clockBarrier) await(r *Rank, clock float64, onComplete func()) float64 {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.aborted {
+		b.mu.Unlock()
 		panic(abortPanic{})
 	}
-	gen := b.generation
 	if clock > b.maxClock {
 		b.maxClock = clock
 	}
 	b.count++
 	if b.count == b.n {
-		b.results[gen%2] = b.maxClock
+		if onComplete != nil {
+			onComplete()
+		}
+		result := b.maxClock
 		b.maxClock = 0
 		b.count = 0
-		b.generation++
-		b.cond.Broadcast()
-		return b.results[gen%2]
+		waiters := b.waiters
+		// Recycle the arrays: next epoch's arrivals append to the other
+		// one (the run queue keeps its own copies of the token pointers,
+		// so reusing the array is safe even while some of these ranks are
+		// still parked waiting for a slot grant).
+		b.waiters, b.spare = b.spare[:0], b.waiters
+		b.mu.Unlock()
+		for _, w := range waiters {
+			w.result = result
+		}
+		// Wake the epoch's waiters with their slot grants fused in: each
+		// waiter parks exactly once and wakes already holding a slot.
+		r.machine.sched.unparkGranting(waiters)
+		return result
 	}
-	for gen == b.generation && !b.aborted {
-		b.cond.Wait()
-	}
-	if b.aborted {
+	t := r.token
+	b.waiters = append(b.waiters, t)
+	b.mu.Unlock()
+	// Hand the worker slot to a rank still short of the barrier; the
+	// release must come *after* registering, and the one-element channel
+	// absorbs a completion signal that lands in between.
+	r.hasSlot = false
+	r.machine.sched.release()
+	<-t.wake
+	if b.isAborted() {
+		// The wake-up came from (or was overtaken by) an abort, so it
+		// carries no slot grant: unwind without marking a slot held.
 		panic(abortPanic{})
 	}
-	return b.results[gen%2]
+	r.hasSlot = true
+	return t.result
 }
 
 // abort poisons the barrier and wakes every waiter.
 func (b *clockBarrier) abort() {
 	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		return
+	}
 	b.aborted = true
-	b.cond.Broadcast()
+	waiters := b.waiters
+	b.waiters = nil
 	b.mu.Unlock()
+	for _, w := range waiters {
+		w.wake <- struct{}{}
+	}
 }

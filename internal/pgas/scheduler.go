@@ -1,0 +1,157 @@
+// Pooled rank scheduler: the bounded worker pool behind Machine.Run.
+//
+// The machine still materializes one goroutine per rank — SPMD code keeps its
+// natural blocking style, stacks and all — but only Workers of them are
+// admitted as *runnable* at any moment. The rest are parked on a FIFO run
+// queue, each waiting on its own one-element channel, which costs a parked
+// goroutine and nothing else: no spinning, no timer wheel, no thundering
+// herd. This is what makes the rank count a simulation parameter instead of a
+// hardware limit — at P=4096 the Go runtime juggles Workers runnable
+// goroutines, not 4096, and a barrier hand-off moves ranks between the
+// barrier's waiter list and the run queue in O(1) per rank.
+//
+// Determinism: the pool changes only *when* a rank goroutine physically runs,
+// never what it observes. Simulated clocks, barrier results and collective
+// outputs are functions of the deposited values alone, so sim-seconds and
+// outputs are bit-identical for every Workers setting (pinned by the
+// scheduler golden tests in internal/core).
+//
+// Protocol invariants, relied on throughout:
+//
+//  1. A parkToken sits in at most one waiter list at a time (the scheduler's
+//     run queue or a barrier's waiter list), and every signal sent to its
+//     channel is consumed before the token re-enters a list. A buffered send
+//     therefore never blocks and a wake-up is never lost. A barrier epoch's
+//     completion moves its waiters from the barrier's list into the run
+//     queue (unparkGranting) in one step, so the invariant holds across the
+//     hand-over.
+//  2. slots > 0 implies an empty run queue: release hands a freed slot
+//     directly to the queue head instead of incrementing the count.
+//  3. After abort the pool is unlimited — acquire returns immediately and
+//     release is a no-op — so unwinding ranks can never deadlock on a slot.
+
+package pgas
+
+import "sync"
+
+// parkToken is a rank's parking spot: the one-element channel both the
+// scheduler (slot grants) and the barrier (completion wake-ups) signal, plus
+// the barrier result, published before the completion wake-up.
+type parkToken struct {
+	wake   chan struct{}
+	result float64
+}
+
+func newParkToken() *parkToken {
+	return &parkToken{wake: make(chan struct{}, 1)}
+}
+
+// scheduler is the bounded worker pool. It is a FIFO counting semaphore with
+// direct hand-off: a released slot goes to the longest-parked rank, so no
+// rank can be starved and barrier epochs drain in bounded time.
+type scheduler struct {
+	mu      sync.Mutex
+	slots   int
+	queue   []*parkToken // ring: live entries are queue[head:]
+	head    int
+	aborted bool
+}
+
+func newScheduler(slots int) *scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	return &scheduler{slots: slots}
+}
+
+// acquire blocks until a worker slot is free and claims it. After abort it
+// returns immediately; the caller is expected to observe the abort at its
+// next barrier and unwind.
+func (s *scheduler) acquire(t *parkToken) {
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		return
+	}
+	if s.slots > 0 {
+		s.slots--
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	<-t.wake
+}
+
+// release frees the caller's slot, handing it directly to the head of the
+// run queue when anyone is parked there.
+func (s *scheduler) release() {
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		return
+	}
+	if s.head < len(s.queue) {
+		t := s.queue[s.head]
+		s.queue[s.head] = nil
+		s.head++
+		if s.head == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
+		s.mu.Unlock()
+		t.wake <- struct{}{}
+		return
+	}
+	s.slots++
+	s.mu.Unlock()
+}
+
+// unparkGranting wakes a batch of parked ranks, granting each a worker slot
+// with its wake-up: free slots are handed out immediately and the rest of the
+// batch joins the run queue in arrival order, to be granted as slots free up.
+// The barrier uses it to wake an epoch's waiters — fusing the wake with the
+// slot grant means a waiter parks exactly once per epoch (on its token)
+// instead of twice (once for the completion signal, once to reacquire a
+// slot), which halves the scheduling hand-offs on the barrier-heavy
+// collective paths. After abort every token is woken immediately; the wake
+// then means "observe the abort and unwind", not a grant.
+func (s *scheduler) unparkGranting(tokens []*parkToken) {
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		for _, t := range tokens {
+			t.wake <- struct{}{}
+		}
+		return
+	}
+	granted := 0
+	for granted < len(tokens) && s.slots > 0 {
+		s.slots--
+		granted++
+	}
+	s.queue = append(s.queue, tokens[granted:]...)
+	s.mu.Unlock()
+	for _, t := range tokens[:granted] {
+		t.wake <- struct{}{}
+	}
+}
+
+// abort makes the pool unlimited and wakes everyone parked on the run queue,
+// so every rank can reach its next barrier (where it observes the poisoned
+// barrier and unwinds) regardless of slot accounting.
+func (s *scheduler) abort() {
+	s.mu.Lock()
+	if s.aborted {
+		s.mu.Unlock()
+		return
+	}
+	s.aborted = true
+	parked := s.queue[s.head:]
+	s.queue = nil
+	s.head = 0
+	s.mu.Unlock()
+	for _, t := range parked {
+		t.wake <- struct{}{}
+	}
+}

@@ -271,6 +271,43 @@ func TestKmersOfEdgeCases(t *testing.T) {
 	}
 }
 
+func TestAppendCanonicalKmers(t *testing.T) {
+	s := []byte("ACGTNACGTTGCAACGTT")
+	k := 5
+	// Reference: canonicalize the plain k-mer list by hand.
+	var want []Kmer
+	for _, km := range KmersOf(s, k) {
+		c, _ := km.Canonical()
+		want = append(want, c)
+	}
+	got := AppendCanonicalKmers(nil, s, k)
+	if len(got) != len(want) {
+		t.Fatalf("got %d kmers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("kmer %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Appending preserves the existing prefix.
+	prefix := []Kmer{MustKmer("AAAAA")}
+	both := AppendCanonicalKmers(prefix, s, k)
+	if both[0] != MustKmer("AAAAA") || len(both) != 1+len(want) {
+		t.Fatalf("append did not preserve prefix: len=%d", len(both))
+	}
+	// Invalid inputs leave dst unchanged, matching KmersOf's guards.
+	for _, bad := range []struct{ s []byte; k int }{
+		{[]byte("ACG"), 5}, {s, 0}, {s, -1}, {s, MaxK + 1},
+	} {
+		if out := AppendCanonicalKmers(prefix[:1], bad.s, bad.k); len(out) != 1 {
+			t.Errorf("AppendCanonicalKmers(%q, k=%d) grew dst: len=%d", bad.s, bad.k, len(out))
+		}
+	}
+	if CanonicalKmersOf([]byte("ACG"), 5) != nil {
+		t.Error("CanonicalKmersOf on short input should stay nil")
+	}
+}
+
 func BenchmarkKmerIter(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	s := []byte(randomSeq(r, 10000))
@@ -291,5 +328,30 @@ func BenchmarkKmerCanonical(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		km.Canonical()
+	}
+}
+
+// BenchmarkKmerCanonicalAppend measures the reused-buffer extraction path and
+// asserts it stays allocation-free once the destination buffer has grown: a
+// regression here would put a per-read allocation back into the hottest loop
+// of k-mer analysis.
+func BenchmarkKmerCanonicalAppend(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	s := []byte(randomSeq(r, 10000))
+	dst := AppendCanonicalKmers(nil, s, 31) // warm the buffer outside the loop
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = AppendCanonicalKmers(dst[:0], s, 31)
+	}
+	b.StopTimer()
+	if len(dst) != len(s)-31+1 {
+		b.Fatalf("got %d kmers, want %d", len(dst), len(s)-31+1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = AppendCanonicalKmers(dst[:0], s, 31)
+	})
+	if allocs != 0 {
+		b.Fatalf("AppendCanonicalKmers with warm buffer: %v allocs/op, want 0", allocs)
 	}
 }
