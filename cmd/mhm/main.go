@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -40,6 +42,16 @@ func validateMachineShape(ranks, ranksPerNode int) error {
 	}
 	if ranks%ranksPerNode != 0 {
 		return fmt.Errorf("-ranks-per-node (%d) must divide -ranks (%d); choose a node size that tiles the machine", ranksPerNode, ranks)
+	}
+	return nil
+}
+
+// validateProfileFlags checks the -cpuprofile/-memprofile pair. Both are
+// optional, but pointing them at the same file would have the heap profile
+// truncate the CPU profile at exit.
+func validateProfileFlags(cpuProfile, memProfile string) error {
+	if cpuProfile != "" && cpuProfile == memProfile {
+		return fmt.Errorf("-cpuprofile and -memprofile must name different files (both %q)", cpuProfile)
 	}
 	return nil
 }
@@ -79,6 +91,8 @@ func main() {
 		resumeDir    = flag.String("resume", "", "resume from the last completed stage checkpointed in this directory")
 		failAfter    = flag.String("fail-after-stage", "", "fault injection: kill the run after this stage completes (exit 3)")
 		failAtIt     = flag.Int("fail-at-iteration", 0, "fault injection: k-iteration index -fail-after-stage fires at")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -87,6 +101,37 @@ func main() {
 	}
 	if err := validateMachineShape(*ranks, *ranksPerNode); err != nil {
 		log.Fatalf("mhm: %v", err)
+	}
+	if err := validateProfileFlags(*cpuProfile, *memProfile); err != nil {
+		log.Fatalf("mhm: %v", err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("mhm: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("mhm: -cpuprofile: %v", err)
+		}
+		// Stopped explicitly on every exit path that follows a completed (or
+		// fault-killed) run; log.Fatalf paths lose the profile, which is fine
+		// for flag/input errors that happen before any interesting work.
+		defer pprof.StopCPUProfile()
+	}
+	writeMemProfile := func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Printf("mhm: -memprofile: %v", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Printf("mhm: -memprofile: %v", err)
+		}
 	}
 
 	files := strings.Split(*in, ",")
@@ -159,6 +204,13 @@ func main() {
 			if *ckptDir != "" {
 				log.Printf("mhm: checkpoints up to the kill point are in %s; rerun with -resume %s to continue", *ckptDir, *ckptDir)
 			}
+			// os.Exit skips deferred calls, so flush the profiles by hand —
+			// a profile of the partial run is exactly what a fault-injection
+			// investigation wants.
+			if *cpuProfile != "" {
+				pprof.StopCPUProfile()
+			}
+			writeMemProfile()
 			os.Exit(3)
 		}
 		log.Fatalf("mhm: %v", err)
@@ -196,4 +248,5 @@ func main() {
 	fmt.Printf("peak resident collective payload (worst rank): %.1f KB\n",
 		float64(s.PeakResidentBytes)/1e3)
 	fmt.Printf("wrote %d sequences to %s\n", len(seqs), *out)
+	writeMemProfile()
 }

@@ -41,3 +41,34 @@ func TestValidateMachineShape(t *testing.T) {
 		})
 	}
 }
+
+func TestValidateProfileFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		cpu, mem string
+		wantErr  string // substring of the error, "" = valid
+	}{
+		{"both empty", "", "", ""},
+		{"cpu only", "cpu.pprof", "", ""},
+		{"mem only", "", "mem.pprof", ""},
+		{"both distinct", "cpu.pprof", "mem.pprof", ""},
+		{"same file", "run.pprof", "run.pprof", "must name different files"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateProfileFlags(tc.cpu, tc.mem)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateProfileFlags(%q, %q) = %v, want nil", tc.cpu, tc.mem, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateProfileFlags(%q, %q) = nil, want error containing %q", tc.cpu, tc.mem, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateProfileFlags(%q, %q) = %q, want it to contain %q", tc.cpu, tc.mem, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -80,12 +80,22 @@ func TestDocsRequiredCrossLinks(t *testing.T) {
 			// execution-vs-simulation separation and the O(P) collective
 			// rules.
 			"### Pooled scheduler", "Config.Workers", "bit-identical",
-			"BENCH_wallclock.json"},
+			"BENCH_wallclock.json",
+			// The packed-kernel documentation: the design notes own the
+			// representation, the word-at-a-time tricks and the
+			// bit-identity rule.
+			"## 9. Packed 2-bit sequences and word-at-a-time kernels",
+			"seq.Packed", "MismatchCount", "FuzzPackedRoundTrip",
+			"BENCH_kernels.json"},
 		"TUTORIAL.md": {"## 6. Surviving a mid-run kill",
 			"-fail-after-stage", "manifest head", "DESIGN.md) §8",
 			// The tutorial owns the practical guidance on -workers and the
 			// wall-clock trajectory file.
-			"-workers", "BENCH_wallclock.json", "max_feasible_ranks"},
+			"-workers", "BENCH_wallclock.json", "max_feasible_ranks",
+			// ... and on the per-kernel trajectory file and the pprof
+			// flags.
+			"### Reading `BENCH_kernels.json` and profiling a run",
+			"packed_ns_per_op", "speedup_x", "-cpuprofile", "-memprofile"},
 	}
 	for doc, wants := range sections {
 		data, err := os.ReadFile(doc)

@@ -179,9 +179,10 @@ func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts
 	var out []Alignment
 	var stats AlignStats
 	// Per-rank scratch reused across every read aligned by this call: the
-	// dedup map and the sorted-hits copy would otherwise be reallocated once
+	// dedup map, the sorted-hits copy, the packed read/reverse-complement
+	// buffers and the packed-contig cache would otherwise be reallocated once
 	// (or more) per read.
-	scratch := &alignScratch{tried: make(map[[3]int]bool)}
+	scratch := NewScratch()
 	for i, read := range reads {
 		if opts.OnlyLib != nil && read.LibID != *opts.OnlyLib {
 			continue
@@ -203,17 +204,86 @@ func AlignReads(r *pgas.Rank, idx *Index, reads []seq.Read, readOffset int, opts
 	return out, stats
 }
 
-// alignScratch holds per-rank buffers reused across alignOne calls.
-type alignScratch struct {
+// Scratch holds the per-rank buffers reused across alignOne calls: the
+// extension dedup map, the sorted-hits copy, the packed forms of the current
+// read (forward and reverse complement, refreshed by BeginRead), the ASCII
+// reverse-complement fallback buffer, and the packed-contig cache. One
+// Scratch serves one AlignReads pass; it is exported (with NewScratch and
+// BeginRead) so the repository-level kernel benchmarks and the
+// packed-vs-ASCII equivalence tests can drive the extend kernel directly.
+type Scratch struct {
 	tried map[[3]int]bool // (contig, diagonal, strand) triples already extended
 	hits  []SeedHit       // sorted copy of a seed's hit list
+
+	readFwd seq.Packed // packed current read (valid when readOK)
+	readRC  seq.Packed // packed reverse complement of the current read
+	readOK  bool       // read is strict upper-case ACGT: packed compare == ASCII compare
+	rcBytes []byte     // ASCII reverse complement, for the byte-path fallback
+	rcValid bool       // rcBytes holds the current read's reverse complement
+
+	// packs caches the packed form of every contig this pass has extended
+	// against, keyed by contig ID — the packed side of the seed index. A
+	// contig is packed once per pass on first use and reused by every read
+	// that seeds on it (with read localization most reads hit the same few
+	// owner-local contigs). ok=false records the rare non-ACGT contig so the
+	// byte path is chosen without re-probing it. The last-used entry is
+	// memoized outside the map: a seed's sorted hit list clusters candidates
+	// by contig, so most lookups are repeats of the previous one.
+	packs     map[int]packedContig
+	lastID    int
+	lastPack  packedContig
+	lastValid bool
+}
+
+type packedContig struct {
+	p  seq.Packed
+	ok bool
+}
+
+// NewScratch returns an empty Scratch ready for BeginRead.
+func NewScratch() *Scratch {
+	return &Scratch{
+		tried: make(map[[3]int]bool),
+		packs: make(map[int]packedContig),
+	}
+}
+
+// BeginRead points the scratch at a new read: the packed forward form and
+// its reverse complement are computed once here and reused across every
+// candidate extension of the read (the reverse-strand candidates previously
+// allocated a fresh ASCII reverse complement each). A read that is not
+// strict upper-case ACGT stays on the byte path (readOK=false), where the
+// reverse complement is still computed at most once per read, into rcBytes.
+func (s *Scratch) BeginRead(readSeq []byte) {
+	s.rcValid = false
+	s.readOK = s.readFwd.SetASCII(readSeq)
+	if s.readOK {
+		s.readRC.SetReverseComplementOf(s.readFwd)
+	}
+}
+
+// packedFor returns the cached packed form of the contig, packing it on
+// first use.
+func (s *Scratch) packedFor(contig dbg.Contig) (seq.Packed, bool) {
+	if s.lastValid && s.lastID == contig.ID {
+		return s.lastPack.p, s.lastPack.ok
+	}
+	pc, cached := s.packs[contig.ID]
+	if !cached {
+		p, ok := seq.PackASCII(contig.Seq)
+		pc = packedContig{p: p, ok: ok}
+		s.packs[contig.ID] = pc
+	}
+	s.lastID, s.lastPack, s.lastValid = contig.ID, pc, true
+	return pc.p, pc.ok
 }
 
 // alignOne seeds and extends one read, returning its best alignment.
-func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []SeedHit], creader *dist.Reader[dbg.Contig], read seq.Read, opts Options, scratch *alignScratch) (Alignment, bool) {
+func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []SeedHit], creader *dist.Reader[dbg.Contig], read seq.Read, opts Options, scratch *Scratch) (Alignment, bool) {
 	var best Alignment
 	var bestContig dbg.Contig
 	found := false
+	scratch.BeginRead(read.Seq)
 	tried := scratch.tried
 	clear(tried)
 	it := seq.NewKmerIter(read.Seq, opts.SeedLen)
@@ -263,7 +333,7 @@ func alignOne(r *pgas.Rank, idx *Index, reader *dht.CachedReader[seq.Kmer, []See
 				continue
 			}
 			tried[key] = true
-			a, ok := extend(read.Seq, contig, h, off, reverse, opts)
+			a, ok := extend(read.Seq, contig, h, off, reverse, opts, scratch)
 			r.Compute(float64(a.AlignLen))
 			if !ok {
 				continue
@@ -311,12 +381,83 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-// extend performs ungapped extension of a seed match and scores it.
-func extend(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse bool, opts Options) (Alignment, bool) {
+// extend performs ungapped extension of a seed match and scores it. When the
+// read and the contig are both strict ACGT (the overwhelmingly common case)
+// the comparison runs word-at-a-time over the packed forms — 32 bases per
+// XOR+popcount — against the read orientation precomputed by BeginRead;
+// anything else falls back to the byte loop, which is bit-identical to the
+// packed path on the inputs both can handle.
+func extend(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse bool, opts Options, s *Scratch) (Alignment, bool) {
+	if s != nil && s.readOK {
+		if cp, ok := s.packedFor(contig); ok {
+			return extendPacked(len(readSeq), cp, contig, hit, seedOff, reverse, opts, s)
+		}
+	}
+	return extendBytes(readSeq, contig, hit, seedOff, reverse, opts, s)
+}
+
+// extendPacked scores the overlap of the oriented read projection with the
+// contig using seq.MismatchCount. The ungapped alignment covers the
+// contiguous read positions whose contig projection start+i lands inside the
+// contig, so alignLen is an interval length and matches = alignLen −
+// mismatches; the per-base loop this replaces counted the same quantities
+// one byte at a time.
+func extendPacked(readLen int, cp seq.Packed, contig dbg.Contig, hit SeedHit, seedOff int, reverse bool, opts Options, s *Scratch) (Alignment, bool) {
+	rp := &s.readFwd
+	off := seedOff
+	if reverse {
+		rp = &s.readRC
+		off = readLen - seedOff - opts.SeedLen
+	}
+	// Projected start of the read on the contig's forward strand.
+	start := hit.Pos - off
+	lo := 0
+	if start < 0 {
+		lo = -start
+	}
+	hi := readLen
+	if m := len(contig.Seq) - start; m < hi {
+		hi = m
+	}
+	matches, mismatches, alignLen := 0, 0, 0
+	if hi > lo {
+		alignLen = hi - lo
+		mismatches = seq.MismatchCount(*rp, cp, lo, start+lo, alignLen)
+		matches = alignLen - mismatches
+	}
+	a := Alignment{
+		ContigID:  contig.ID,
+		ContigLen: len(contig.Seq),
+		ContigPos: start,
+		Reverse:   reverse,
+		Matches:   matches,
+		Mismatch:  mismatches,
+		AlignLen:  alignLen,
+	}
+	if alignLen < opts.MinAlignLen || a.Identity() < opts.MinIdentity {
+		return a, false
+	}
+	return a, true
+}
+
+// extendBytes is the byte-at-a-time extension used when the read or contig
+// contains non-ACGT characters (whose comparison semantics the 2-bit packing
+// cannot represent). The read's reverse complement is still materialized at
+// most once per read, into the scratch buffer.
+func extendBytes(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse bool, opts Options, s *Scratch) (Alignment, bool) {
 	oriented := readSeq
 	off := seedOff
 	if reverse {
-		oriented = seq.ReverseComplement(readSeq)
+		switch {
+		case s == nil:
+			oriented = seq.ReverseComplement(readSeq)
+		case s.rcValid:
+			oriented = s.rcBytes
+		default:
+			s.rcBytes = seq.AppendReverseComplement(s.rcBytes[:0], readSeq)
+			s.rcValid = true
+			oriented = s.rcBytes
+		}
 		off = len(readSeq) - seedOff - opts.SeedLen
 	}
 	// Projected start of the read on the contig's forward strand.
@@ -347,6 +488,22 @@ func extend(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse
 		return a, false
 	}
 	return a, true
+}
+
+// ExtendKernel exposes the seed-extension kernel for the repository-level
+// per-kernel benchmarks and the equivalence tests: it scores one candidate
+// (contig, hit, orientation) for the read most recently passed to
+// s.BeginRead. The pipeline reaches the same code through AlignReads.
+func ExtendKernel(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse bool, opts Options, s *Scratch) (Alignment, bool) {
+	return extend(readSeq, contig, hit, seedOff, reverse, opts, s)
+}
+
+// ExtendKernelASCII is the historical extension kernel — a per-base ASCII
+// comparison loop with a fresh reverse-complement allocation per
+// reverse-strand candidate — kept as the baseline the packed kernel is
+// benchmarked and equivalence-tested against.
+func ExtendKernelASCII(readSeq []byte, contig dbg.Contig, hit SeedHit, seedOff int, reverse bool, opts Options) (Alignment, bool) {
+	return extendBytes(readSeq, contig, hit, seedOff, reverse, opts, nil)
 }
 
 // DistributeAlignments routes every alignment to the rank owning its contig

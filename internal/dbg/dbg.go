@@ -263,6 +263,7 @@ func Traverse(r *pgas.Rank, g *Graph, opts TraverseOptions) []Contig {
 	})
 	sort.Slice(local, func(i, j int) bool { return local[i].km.Less(local[j].km) })
 	var out []Contig
+	ws := NewWalkScratch()
 	for _, v := range local {
 		km, e := v.km, v.e
 		for _, forward := range []bool{true, false} {
@@ -270,28 +271,48 @@ func Traverse(r *pgas.Rank, g *Graph, opts TraverseOptions) []Contig {
 			if !g.isPathStart(r, cur, e) {
 				continue
 			}
-			contigSeq, counts := g.walk(r, cur, e, maxSteps)
-			if len(contigSeq) < g.K || (opts.MinContigLen > 0 && len(contigSeq) < opts.MinContigLen) {
+			g.walk(r, cur, e, maxSteps, ws)
+			n := ws.seq.Len()
+			if n < g.K || (opts.MinContigLen > 0 && n < opts.MinContigLen) {
 				continue
 			}
 			// Emit each path once: only from the end whose sequence is the
-			// canonical orientation (ties broken towards emitting).
-			if greaterThanRC(contigSeq) {
+			// canonical orientation (ties broken towards emitting). The
+			// comparison runs on the packed form; ASCII is materialized only
+			// for the paths that survive it.
+			if ws.seq.GreaterThanRC() {
 				continue
 			}
-			out = append(out, Contig{Seq: contigSeq, Depth: seq.MeanDepthFromCounts(counts)})
+			contigSeq := ws.seq.AppendUnpack(make([]byte, 0, n))
+			out = append(out, Contig{Seq: contigSeq, Depth: seq.MeanDepthFromCounts(ws.counts)})
 		}
 	}
 	r.Barrier()
 	return out
 }
 
+// WalkScratch holds the reusable walk buffers: the packed path sequence and
+// the per-vertex depth counts. One scratch serves a whole Traverse — a walk
+// appends 2-bit codes into it and unpacks to ASCII only for the paths that
+// are actually emitted, so walking is allocation-free in steady state (the
+// walked-from-both-ends and too-short paths that used to build and discard a
+// byte slice each now cost nothing).
+type WalkScratch struct {
+	seq    seq.Packed
+	counts []uint32
+}
+
+// NewWalkScratch returns an empty scratch ready for walking.
+func NewWalkScratch() *WalkScratch { return &WalkScratch{} }
+
 // walk extends a path from the starting oriented k-mer until it hits a fork,
-// dead end, missing vertex or the step bound.
-func (g *Graph) walk(r *pgas.Rank, start oriented, e Entry, maxSteps int) ([]byte, []uint32) {
+// dead end, missing vertex or the step bound, filling the scratch buffers.
+func (g *Graph) walk(r *pgas.Rank, start oriented, e Entry, maxSteps int, ws *WalkScratch) {
+	ws.seq.Reset()
+	ws.counts = ws.counts[:0]
 	obs := start.observedKmer()
-	contigSeq := append([]byte(nil), obs.Bytes()...)
-	counts := []uint32{e.Count}
+	ws.seq.AppendKmer(obs)
+	ws.counts = append(ws.counts, e.Count)
 	cur, ce := start, e
 	for steps := 0; steps < maxSteps; steps++ {
 		next, ne, code, ok := g.successor(r, cur, ce)
@@ -302,6 +323,29 @@ func (g *Graph) walk(r *pgas.Rank, start oriented, e Entry, maxSteps int) ([]byt
 			// Cycle closed; stop without repeating the start.
 			break
 		}
+		ws.seq.AppendCode(code)
+		ws.counts = append(ws.counts, ne.Count)
+		cur, ce = next, ne
+		r.Compute(1)
+	}
+}
+
+// walkASCII is the historical walk — one ASCII byte appended per step into a
+// freshly allocated slice — kept as the baseline the packed walk is
+// benchmarked and equivalence-tested against.
+func (g *Graph) walkASCII(r *pgas.Rank, start oriented, e Entry, maxSteps int) ([]byte, []uint32) {
+	obs := start.observedKmer()
+	contigSeq := append([]byte(nil), obs.Bytes()...)
+	counts := []uint32{e.Count}
+	cur, ce := start, e
+	for steps := 0; steps < maxSteps; steps++ {
+		next, ne, code, ok := g.successor(r, cur, ce)
+		if !ok {
+			break
+		}
+		if next.key == start.key {
+			break
+		}
 		contigSeq = append(contigSeq, seq.BaseToChar(code))
 		counts = append(counts, ne.Count)
 		cur, ce = next, ne
@@ -309,6 +353,35 @@ func (g *Graph) walk(r *pgas.Rank, start oriented, e Entry, maxSteps int) ([]byt
 	}
 	return contigSeq, counts
 }
+
+// WalkKernel exposes one graph walk for the repository-level per-kernel
+// benchmarks and the packed-vs-ASCII equivalence tests: it walks from the
+// canonical k-mer km in the given orientation into the scratch and returns
+// the walked length in bases (0 if km is not a vertex). Traverse reaches the
+// same code with its path-start and emit-once filters around it.
+func (g *Graph) WalkKernel(r *pgas.Rank, km seq.Kmer, forward bool, maxSteps int, ws *WalkScratch) int {
+	e, ok := g.Entries.Get(r, km)
+	if !ok {
+		return 0
+	}
+	g.walk(r, oriented{key: km, forward: forward}, e, maxSteps, ws)
+	return ws.seq.Len()
+}
+
+// WalkKernelASCII is the ASCII-baseline counterpart of WalkKernel.
+func (g *Graph) WalkKernelASCII(r *pgas.Rank, km seq.Kmer, forward bool, maxSteps int) ([]byte, []uint32) {
+	e, ok := g.Entries.Get(r, km)
+	if !ok {
+		return nil, nil
+	}
+	return g.walkASCII(r, oriented{key: km, forward: forward}, e, maxSteps)
+}
+
+// Unpack exposes the scratch's walked sequence as ASCII, appended to dst.
+func (ws *WalkScratch) Unpack(dst []byte) []byte { return ws.seq.AppendUnpack(dst) }
+
+// Counts returns the scratch's per-vertex depth counts for the last walk.
+func (ws *WalkScratch) Counts() []uint32 { return ws.counts }
 
 // ContigSet is the distributed contig collection the pipeline passes between
 // stages: contigs partitioned by content over the ranks, with dense global

@@ -83,8 +83,10 @@ type Result struct {
 	DistinctKmers int
 }
 
-// observation is one k-mer occurrence shipped to its owner rank.
-type observation struct {
+// Observation is one k-mer occurrence shipped to its owner rank. It is
+// exported (with AppendObservations) for the repository-level per-kernel
+// benchmarks; the pipeline produces and consumes it internally.
+type Observation struct {
 	Kmer     seq.Kmer
 	Left     byte
 	Right    byte
@@ -130,7 +132,8 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 
 	// Phase 1: extract observations from local reads and route them to the
 	// owners of their canonical k-mers with one aggregated exchange.
-	var local []observation
+	var local []Observation
+	var codes []byte
 	var totalLocal int64
 	var hh *histo.HeavyHitters[seq.Kmer]
 	if opts.HeavyHitterCapacity > 0 {
@@ -138,9 +141,10 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 	}
 	for _, read := range reads {
 		// Append-style extraction grows one per-rank buffer instead of
-		// allocating (and then copying) a fresh observation slice per read.
+		// allocating (and then copying) a fresh observation slice per read,
+		// and reuses one codes scratch across the whole read set.
 		start := len(local)
-		local = appendObservations(local, read, opts)
+		local, codes = AppendObservations(local, codes, read, opts)
 		obs := local[start:]
 		totalLocal += int64(len(obs))
 		if hh != nil {
@@ -194,7 +198,7 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 				}
 			}
 		}
-		routed := dht.Route(r, part, func(o observation) int { return counts.Owner(o.Kmer) }, observationWireSize)
+		routed := dht.Route(r, part, func(o Observation) int { return counts.Owner(o.Kmer) }, observationWireSize)
 		for _, o := range routed {
 			insert := true
 			bonus := uint32(0)
@@ -283,11 +287,82 @@ func Run(r *pgas.Rank, reads []seq.Read, opts Options, counts *dht.Map[seq.Kmer,
 	return res
 }
 
-// appendObservations splits one read into canonical k-mer observations and
-// appends them to dst, returning the extended slice. The append form (same
+// AppendObservations splits one read into canonical k-mer observations and
+// appends them to dst, returning the extended slices. The append form (same
 // discipline as seq.AppendCanonicalKmers) lets the caller accumulate a whole
-// read set into one per-rank buffer with no per-read allocation.
-func appendObservations(dst []observation, read seq.Read, opts Options) []observation {
+// read set into one per-rank buffer with no per-read allocation; codes is a
+// reusable scratch the read's bases are decoded into.
+//
+// The extraction rolls two packed windows: each base character is decoded
+// to its 2-bit code exactly once into codes, the forward k-mer is
+// maintained by shifting that code in (seq.Kmer.AppendBase) while its
+// reverse complement is maintained by prepending the complement code — so
+// canonicalization is a 128-bit compare instead of the O(k)
+// ReverseComplement rebuild Kmer.Canonical performs per window. The
+// byte-loop version this replaces additionally re-decoded every neighbour
+// character from ASCII.
+func AppendObservations(dst []Observation, codes []byte, read seq.Read, opts Options) ([]Observation, []byte) {
+	k := opts.K
+	n := len(read.Seq)
+	if n < k {
+		return dst, codes
+	}
+	if cap(codes) < n {
+		codes = make([]byte, n)
+	} else {
+		codes = codes[:n]
+	}
+	for i, c := range read.Seq {
+		code, valid := seq.CharToBase(c)
+		if !valid {
+			code = 0xFF
+		}
+		codes[i] = code
+	}
+	out := dst
+	km := seq.Kmer{K: uint8(k)}
+	rcKm := seq.Kmer{K: uint8(k)}
+	valid := 0
+	for i := 0; i < n; i++ {
+		code := codes[i]
+		if code == 0xFF {
+			valid = 0
+			continue
+		}
+		km = km.AppendBase(code)
+		rcKm = rcKm.PrependBase(seq.ComplementCode(code))
+		valid++
+		if valid < k {
+			continue
+		}
+		off := i - k + 1
+		var o Observation
+		if rcKm.Less(km) {
+			o.Kmer, o.WasRC = rcKm, true
+		} else {
+			o.Kmer, o.WasRC = km, false
+		}
+		if off > 0 {
+			if lc := codes[off-1]; lc != 0xFF && qualOK(read, off-1, opts.QualThreshold) {
+				o.Left = lc
+				o.HasLeft = true
+			}
+		}
+		if i+1 < n {
+			if rc := codes[i+1]; rc != 0xFF && qualOK(read, i+1, opts.QualThreshold) {
+				o.Right = rc
+				o.HasRight = true
+			}
+		}
+		out = append(out, o)
+	}
+	return out, codes
+}
+
+// AppendObservationsByteLoop is the historical extraction — a fresh k-mer
+// iterator per read and an ASCII decode per neighbour lookup — kept as the
+// baseline AppendObservations is benchmarked and equivalence-tested against.
+func AppendObservationsByteLoop(dst []Observation, read seq.Read, opts Options) []Observation {
 	k := opts.K
 	if len(read.Seq) < k {
 		return dst
@@ -299,7 +374,7 @@ func appendObservations(dst []observation, read seq.Read, opts Options) []observ
 		if !ok {
 			break
 		}
-		var o observation
+		var o Observation
 		canon, wasRC := km.Canonical()
 		o.Kmer = canon
 		o.WasRC = wasRC

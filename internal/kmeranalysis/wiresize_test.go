@@ -12,7 +12,7 @@ import (
 // reflective lower bound.
 func TestWireSizes(t *testing.T) {
 	km, _ := seq.KmerFromBytes([]byte("ACGTTGCAAGCTTACGGATCC"), 21)
-	o := observation{Kmer: km, Left: 1, Right: 2, HasLeft: true, HasRight: true, WasRC: true}
+	o := Observation{Kmer: km, Left: 1, Right: 2, HasLeft: true, HasRight: true, WasRC: true}
 	if min := pgas.WireSizeOf(o); observationWireSize < min {
 		t.Errorf("observationWireSize = %d < encoded size %d", observationWireSize, min)
 	}

@@ -187,35 +187,67 @@ type Library struct {
 	InsertStd  int
 }
 
+// phredStep is 10^(-0.1), the per-Phred-unit error-probability factor.
+const phredStep = 0.7943282347242815
+
+// phredProb[i] = phredStep^i, built by the same iterated multiplication the
+// former per-call loops performed so every table entry is bit-identical to
+// the value the loop would have produced — QualToProb and ProbToQual keep
+// their exact historical outputs (and with them every golden sim-seconds
+// hash) while dropping from O(phred) multiplies per call to a table lookup.
+// 64 entries cover the full Phred+33 printable range ('!'..'a') with room
+// beyond the 'I' clamp.
+var phredProb [64]float64
+
+func init() {
+	p := 1.0
+	for i := range phredProb {
+		phredProb[i] = p
+		p *= phredStep
+	}
+}
+
 // QualToProb converts a Phred+33 quality character into an error probability.
 func QualToProb(q byte) float64 {
 	phred := int(q) - 33
 	if phred < 0 {
 		phred = 0
 	}
-	p := 1.0
-	for i := 0; i < phred; i++ {
-		p *= 0.7943282347242815 // 10^(-0.1)
+	if phred < len(phredProb) {
+		return phredProb[phred]
+	}
+	// Qualities beyond the table (q > 96) do not occur in Phred+33 data; keep
+	// the exact iterated-multiply semantics for them anyway.
+	p := phredProb[len(phredProb)-1]
+	for i := len(phredProb) - 1; i < phred; i++ {
+		p *= phredStep
 	}
 	return p
 }
 
 // ProbToQual converts an error probability into a Phred+33 quality character,
-// clamped to the printable range used by Illumina ('!'..'I').
+// clamped to the printable range used by Illumina ('!'..'I'). The result is
+// the smallest phred in [0, 40] whose table probability does not exceed p
+// (the table is strictly decreasing, so a binary search replaces the former
+// multiply loop with identical output).
 func ProbToQual(p float64) byte {
 	if p <= 0 {
 		return 'I'
 	}
-	phred := 0
-	q := 1.0
-	for q > p && phred < 40 {
-		q *= 0.7943282347242815
-		phred++
+	if !(phredProb[0] > p) {
+		// p >= 1 (or NaN): the former loop never entered its first iteration.
+		return 33
 	}
-	if phred > 40 {
-		phred = 40
+	lo, hi := 1, 40 // invariant: phredProb[i] > p for all i < lo; answer <= hi
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if phredProb[mid] <= p {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
-	return byte(33 + phred)
+	return byte(33 + lo)
 }
 
 // MeanDepthFromCounts returns the arithmetic mean of a slice of k-mer counts,

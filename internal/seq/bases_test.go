@@ -1,6 +1,7 @@
 package seq
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -252,5 +253,71 @@ func TestIsBaseExt(t *testing.T) {
 		if IsBaseExt(c) {
 			t.Errorf("IsBaseExt(%q) = true", c)
 		}
+	}
+}
+
+// qualToProbReference and probToQualReference are the pre-table O(phred)
+// multiply-loop implementations, kept verbatim as the oracle the lookup
+// tables must reproduce bit for bit.
+func qualToProbReference(q byte) float64 {
+	phred := int(q) - 33
+	if phred < 0 {
+		phred = 0
+	}
+	p := 1.0
+	for i := 0; i < phred; i++ {
+		p *= 0.7943282347242815
+	}
+	return p
+}
+
+func probToQualReference(p float64) byte {
+	if p <= 0 {
+		return 'I'
+	}
+	phred := 0
+	q := 1.0
+	for q > p && phred < 40 {
+		q *= 0.7943282347242815
+		phred++
+	}
+	if phred > 40 {
+		phred = 40
+	}
+	return byte(33 + phred)
+}
+
+// TestQualTablesMatchReference pins the lookup-table QualToProb/ProbToQual
+// against the multiply-loop reference across every byte quality, a dense
+// probability grid, and the round trip through both directions.
+func TestQualTablesMatchReference(t *testing.T) {
+	for q := 0; q < 256; q++ {
+		got, want := QualToProb(byte(q)), qualToProbReference(byte(q))
+		if got != want {
+			t.Fatalf("QualToProb(%d) = %v, want %v", q, got, want)
+		}
+		// Round trip: the requantized quality must match the reference's.
+		if gq, wq := ProbToQual(got), probToQualReference(want); gq != wq {
+			t.Fatalf("ProbToQual(QualToProb(%d)) = %q, want %q", q, gq, wq)
+		}
+	}
+	probs := []float64{0, 1e-300, 1e-9, 0.001, 0.01, 0.1, 0.5, 0.99, 1.0, 1.5, 1e9}
+	for p := 1e-6; p < 1; p *= 1.03 {
+		probs = append(probs, p)
+	}
+	for _, p := range probs {
+		if got, want := ProbToQual(p), probToQualReference(p); got != want {
+			t.Fatalf("ProbToQual(%v) = %q, want %q", p, got, want)
+		}
+	}
+	// Exactly at each table threshold and one ulp around it.
+	q := 1.0
+	for i := 0; i < 45; i++ {
+		for _, p := range []float64{q, math.Nextafter(q, 0), math.Nextafter(q, 2)} {
+			if got, want := ProbToQual(p), probToQualReference(p); got != want {
+				t.Fatalf("ProbToQual(threshold %v) = %q, want %q", p, got, want)
+			}
+		}
+		q *= 0.7943282347242815
 	}
 }

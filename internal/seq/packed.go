@@ -1,0 +1,253 @@
+package seq
+
+import "math/bits"
+
+// Packed is a DNA sequence packed two bits per base, 32 bases per uint64
+// word: base i occupies bits [2*(i%32), 2*(i%32)+2) of word i/32, so the
+// first base sits in the least significant bits of the first word. Unused
+// high bits of the last word are always zero — WordAt and MismatchCount rely
+// on that to treat past-the-end bases as zero padding.
+//
+// Packed is the word-at-a-time representation behind the three hot kernels:
+// the aligner's extend compares 32 bases per XOR+popcount step
+// (MismatchCount), de Bruijn walks append 2-bit codes and unpack to ASCII
+// once per emitted contig, and k-mer extraction rolls a packed window
+// instead of re-reading bytes. A Packed value with retained capacity (Reset
+// keeps the word buffer) is allocation-free in steady state.
+type Packed struct {
+	w []uint64
+	n int
+}
+
+// lowBaseMask returns the mask selecting the low n bases of a word (n in
+// [0, 32]; n == 32 selects the whole word).
+func lowBaseMask(n int) uint64 {
+	if n >= 32 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (2 * uint(n))) - 1
+}
+
+// strictBaseCodes maps an ASCII character to its 2-bit code, accepting only
+// upper-case ACGT (0xFF otherwise). The strictness is semantic, not
+// cosmetic: packed comparison (MismatchCount) equals byte-wise ASCII
+// comparison only when both inputs are upper-case ACGT — a lower-case 'a'
+// compares unequal to 'A' in ASCII but would pack to the same code — so the
+// packing entry points refuse anything else and let callers fall back to the
+// byte path.
+var strictBaseCodes [256]byte
+
+func init() {
+	for i := range strictBaseCodes {
+		strictBaseCodes[i] = 0xFF
+	}
+	strictBaseCodes['A'] = BaseA
+	strictBaseCodes['C'] = BaseC
+	strictBaseCodes['G'] = BaseG
+	strictBaseCodes['T'] = BaseT
+}
+
+// PackASCII packs an upper-case ACGT sequence into a fresh Packed value. It
+// reports ok=false (and returns an empty Packed) if s contains any other
+// character; see strictBaseCodes for why lower-case bases are refused.
+func PackASCII(s []byte) (Packed, bool) {
+	var p Packed
+	ok := p.SetASCII(s)
+	return p, ok
+}
+
+// Len returns the sequence length in bases.
+func (p Packed) Len() int { return p.n }
+
+// Reset truncates the sequence to length zero, retaining the word buffer.
+func (p *Packed) Reset() {
+	p.w = p.w[:0]
+	p.n = 0
+}
+
+// AppendCode appends one 2-bit base code.
+func (p *Packed) AppendCode(code byte) {
+	if p.n&31 == 0 {
+		p.w = append(p.w, uint64(code&3))
+	} else {
+		p.w[p.n>>5] |= uint64(code&3) << (2 * uint(p.n&31))
+	}
+	p.n++
+}
+
+// AppendKmer appends the bases of a packed k-mer.
+func (p *Packed) AppendKmer(km Kmer) {
+	for i := 0; i < int(km.K); i++ {
+		p.AppendCode(km.BaseAt(i))
+	}
+}
+
+// SetASCII replaces the sequence with the packing of s, retaining the word
+// buffer. It reports ok=false — leaving the Packed empty — if s contains any
+// character other than upper-case ACGT.
+func (p *Packed) SetASCII(s []byte) bool {
+	p.Reset()
+	w := p.w
+	var cur uint64
+	for i, c := range s {
+		code := strictBaseCodes[c]
+		if code == 0xFF {
+			p.Reset()
+			return false
+		}
+		cur |= uint64(code) << (2 * uint(i&31))
+		if i&31 == 31 {
+			w = append(w, cur)
+			cur = 0
+		}
+	}
+	if len(s)&31 != 0 {
+		w = append(w, cur)
+	}
+	p.w, p.n = w, len(s)
+	return true
+}
+
+// Code returns the 2-bit code of base i.
+func (p Packed) Code(i int) byte {
+	return byte(p.w[i>>5]>>(2*uint(i&31))) & 3
+}
+
+// WordAt returns 64 bits (up to 32 bases) of the sequence starting at base
+// offset off, with bases past the end reading as zero. This is the
+// word-iteration primitive: MismatchCount, Slice and SetReverseComplementOf
+// are all built on it.
+func (p Packed) WordAt(off int) uint64 {
+	wi, sh := off>>5, 2*uint(off&31)
+	if wi < 0 || wi >= len(p.w) {
+		return 0
+	}
+	v := p.w[wi] >> sh
+	if sh > 0 && wi+1 < len(p.w) {
+		v |= p.w[wi+1] << (64 - sh)
+	}
+	return v
+}
+
+// Slice returns a copy of bases [lo, hi) as a fresh Packed value. It panics
+// if the range is out of bounds, mirroring slice-expression semantics.
+func (p Packed) Slice(lo, hi int) Packed {
+	if lo < 0 || hi < lo || hi > p.n {
+		panic("seq: Packed.Slice range out of bounds")
+	}
+	n := hi - lo
+	if n == 0 {
+		return Packed{}
+	}
+	nw := (n + 31) / 32
+	w := make([]uint64, nw)
+	for k := range w {
+		w[k] = p.WordAt(lo + 32*k)
+	}
+	w[nw-1] &= lowBaseMask(n - 32*(nw-1))
+	return Packed{w: w, n: n}
+}
+
+// AppendUnpack appends the sequence as ASCII bases to dst and returns the
+// extended slice. Walks unpack once per emitted contig through this.
+func (p Packed) AppendUnpack(dst []byte) []byte {
+	for i := 0; i < p.n; i++ {
+		dst = append(dst, baseChars[p.Code(i)])
+	}
+	return dst
+}
+
+// revComp64 reverses the 32 2-bit base groups of a word and complements each
+// base. Complementing is a bitwise NOT (code 3-c == c^3 for 2-bit codes);
+// the group reversal is the usual butterfly: swap adjacent 2-bit pairs, swap
+// nibbles, then reverse the bytes.
+func revComp64(w uint64) uint64 {
+	w = ^w
+	w = (w&0x3333333333333333)<<2 | (w>>2)&0x3333333333333333
+	w = (w&0x0F0F0F0F0F0F0F0F)<<4 | (w>>4)&0x0F0F0F0F0F0F0F0F
+	return bits.ReverseBytes64(w)
+}
+
+// SetReverseComplementOf replaces p with the reverse complement of src,
+// retaining p's word buffer. p must not alias src. The aligner computes a
+// read's packed reverse complement once per read through this and reuses it
+// across every reverse-strand candidate.
+func (p *Packed) SetReverseComplementOf(src Packed) {
+	p.Reset()
+	n := src.n
+	if n == 0 {
+		return
+	}
+	nw := (n + 31) / 32
+	if cap(p.w) < nw {
+		p.w = make([]uint64, nw)
+	} else {
+		p.w = p.w[:nw]
+	}
+	// Reversing+complementing every word of src in reverse word order yields
+	// the reverse-complement stream preceded by pad garbage bases (the
+	// complement of the last word's zero padding); re-align by reading that
+	// virtual stream at base offset pad.
+	pad := nw*32 - n
+	vw := func(i int) uint64 {
+		if i < 0 || i >= nw {
+			return 0
+		}
+		return revComp64(src.w[nw-1-i])
+	}
+	sh := 2 * uint(pad)
+	for k := 0; k < nw; k++ {
+		v := vw(k) >> sh
+		if sh > 0 {
+			v |= vw(k+1) << (64 - sh)
+		}
+		p.w[k] = v
+	}
+	p.w[nw-1] &= lowBaseMask(n - 32*(nw-1))
+	p.n = n
+}
+
+// GreaterThanRC reports whether the sequence sorts strictly after its
+// reverse complement. For upper-case ACGT this equals the ASCII string
+// comparison (A<C<G<T in both orders); de Bruijn walks use it to emit each
+// path from exactly one end without materializing the complement.
+func (p Packed) GreaterThanRC() bool {
+	for i, j := 0, p.n-1; i < p.n; i, j = i+1, j-1 {
+		c := 3 - p.Code(j)
+		if ci := p.Code(i); ci != c {
+			return ci > c
+		}
+	}
+	return false
+}
+
+// MismatchCount returns the number of positions where bases [aOff, aOff+n)
+// of a differ from bases [bOff, bOff+n) of b. Both ranges must be in
+// bounds. Each 64-bit step compares 32 bases: XOR the windows, fold each
+// 2-bit group's difference into its low bit with (x|x>>1)&0x5555…, then
+// popcount — the word-at-a-time trick that replaces the aligner's per-base
+// comparison loop.
+func MismatchCount(a, b Packed, aOff, bOff, n int) int {
+	mm := 0
+	for done := 0; done < n; done += 32 {
+		x := a.WordAt(aOff+done) ^ b.WordAt(bOff+done)
+		if rem := n - done; rem < 32 {
+			x &= lowBaseMask(rem)
+		}
+		x = (x | x>>1) & 0x5555555555555555
+		mm += bits.OnesCount64(x)
+	}
+	return mm
+}
+
+// AppendReverseComplement appends the reverse complement of an ASCII
+// sequence to dst and returns the extended slice: the buffer-reusing form of
+// ReverseComplement for hot loops (the aligner's byte-path fallback reverse
+// complements each read once into a per-rank scratch buffer through this).
+// Non-ACGT characters are preserved as 'N', as in ReverseComplement.
+func AppendReverseComplement(dst, s []byte) []byte {
+	for i := len(s) - 1; i >= 0; i-- {
+		dst = append(dst, ComplementChar(s[i]))
+	}
+	return dst
+}
