@@ -1,0 +1,354 @@
+// Command mhmload load-tests an mhmserve endpoint: it sweeps tenant counts,
+// has every tenant submit a stream of small simulated assemblies, and
+// reports throughput (jobs/sec), submit-to-done latency percentiles, and
+// the admission rejection rate per sweep as BENCH_serve.json.
+//
+//	mhmload -url http://localhost:8642 -tenants 1,4,16 -jobs 3 -out BENCH_serve.json
+//
+// With no -url, mhmload starts an in-process server on a loopback port and
+// drives it over real HTTP, so a single command produces the benchmark.
+// The exit status is non-zero if any job failed, which makes the command
+// double as a smoke check in CI.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mhmgo/internal/serve"
+)
+
+// tenantResult is one tenant's tally within a sweep.
+type tenantResult struct {
+	latencies []time.Duration
+	queueMS   []float64
+	rejected  int
+	failed    []string
+}
+
+// sweepReport is the per-tenant-count record of BENCH_serve.json.
+type sweepReport struct {
+	Tenants     int     `json:"tenants"`
+	JobsPerTen  int     `json:"jobs_per_tenant"`
+	Completed   int     `json:"completed"`
+	Rejected    int     `json:"rejected_submits"`
+	Failed      int     `json:"failed"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	// Submit-to-done latency percentiles (milliseconds).
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP90MS float64 `json:"latency_p90_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+	// Queue-wait share of the latency, from the server's own metrics.
+	QueueP50MS float64 `json:"queue_p50_ms"`
+	QueueP99MS float64 `json:"queue_p99_ms"`
+	// RejectionRate is rejected submits over total submit attempts.
+	RejectionRate float64 `json:"rejection_rate"`
+}
+
+type benchReport struct {
+	Benchmark string        `json:"benchmark"`
+	Workers   int           `json:"server_workers"`
+	JobRanks  int           `json:"job_ranks"`
+	JobSpec   serve.SimSpec `json:"job_sim"`
+	Sweeps    []sweepReport `json:"sweeps"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "", "server base URL (empty: start an in-process server)")
+		tenants  = flag.String("tenants", "1,4,16", "comma-separated tenant counts to sweep")
+		jobs     = flag.Int("jobs", 3, "jobs each tenant submits (sequentially)")
+		ranks    = flag.Int("ranks", 4, "virtual ranks per job")
+		workers  = flag.Int("workers", 1, "worker slots each job requests")
+		genomes  = flag.Int("genomes", 2, "simulated community size per job")
+		glen     = flag.Int("genome-len", 2000, "simulated mean genome length")
+		coverage = flag.Float64("coverage", 12, "simulated fold coverage")
+		srvWork  = flag.Int("server-workers", 0, "in-process server worker budget (default GOMAXPROCS); ignored with -url")
+		out      = flag.String("out", "BENCH_serve.json", "output report path")
+	)
+	flag.Parse()
+
+	counts, err := parseCounts(*tenants)
+	if err != nil {
+		log.Fatalf("mhmload: -tenants: %v", err)
+	}
+
+	base := *url
+	serverWorkers := *srvWork
+	if base == "" {
+		s := serve.New(serve.Options{TotalWorkers: *srvWork})
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("mhmload: %v", err)
+		}
+		hs := &http.Server{Handler: s}
+		go hs.Serve(ln)
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		serverWorkers = s.Stats().TotalWorkers
+		log.Printf("mhmload: in-process server on %s (%d workers)", base, serverWorkers)
+	} else if st, err := fetchStats(base); err == nil {
+		serverWorkers = st.TotalWorkers
+	}
+
+	sim := serve.SimSpec{Genomes: *genomes, GenomeLen: *glen, Coverage: *coverage}
+	report := benchReport{
+		Benchmark: "serve-load",
+		Workers:   serverWorkers,
+		JobRanks:  *ranks,
+		JobSpec:   sim,
+		Sweeps:    make([]sweepReport, 0, len(counts)),
+	}
+
+	anyFailed := false
+	for _, n := range counts {
+		sw := runSweep(base, n, *jobs, *ranks, *workers, sim)
+		if sw.Failed > 0 {
+			anyFailed = true
+		}
+		log.Printf("mhmload: tenants=%d completed=%d failed=%d rejected=%d %.2f jobs/sec p50=%.0fms p99=%.0fms",
+			sw.Tenants, sw.Completed, sw.Failed, sw.Rejected, sw.JobsPerSec, sw.LatencyP50MS, sw.LatencyP99MS)
+		report.Sweeps = append(report.Sweeps, sw)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("mhmload: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("mhmload: %v", err)
+	}
+	log.Printf("mhmload: wrote %s", *out)
+	if anyFailed {
+		log.Fatalf("mhmload: some jobs failed")
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid tenant count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// runSweep drives n concurrent tenants, each submitting its jobs
+// sequentially (submit, follow the event stream to a terminal state,
+// repeat), and aggregates the sweep's tallies.
+func runSweep(base string, n, jobs, ranks, workers int, sim serve.SimSpec) sweepReport {
+	results := make([]tenantResult, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for tenant := 0; tenant < n; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			res := &results[tenant]
+			for job := 0; job < jobs; job++ {
+				// Distinct seeds keep co-tenant jobs from being identical.
+				jobSim := sim
+				jobSim.Seed = int64(1000*n + 10*tenant + job)
+				spec := serve.JobSpec{
+					ID:      fmt.Sprintf("load-n%d-t%d-j%d", n, tenant, job),
+					Workers: workers,
+					Ranks:   ranks,
+					Sim:     &jobSim,
+				}
+				runJob(base, spec, res)
+			}
+		}(tenant)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sw := sweepReport{Tenants: n, JobsPerTen: jobs, WallSeconds: wall.Seconds()}
+	var lats []time.Duration
+	var queueMS []float64
+	submits := 0
+	for _, res := range results {
+		sw.Completed += len(res.latencies)
+		sw.Rejected += res.rejected
+		sw.Failed += len(res.failed)
+		submits += len(res.latencies) + res.rejected + len(res.failed)
+		lats = append(lats, res.latencies...)
+		queueMS = append(queueMS, res.queueMS...)
+		for _, msg := range res.failed {
+			log.Printf("mhmload: FAILED %s", msg)
+		}
+	}
+	if sw.WallSeconds > 0 {
+		sw.JobsPerSec = float64(sw.Completed) / sw.WallSeconds
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sw.LatencyP50MS = percentileMS(lats, 0.50)
+	sw.LatencyP90MS = percentileMS(lats, 0.90)
+	sw.LatencyP99MS = percentileMS(lats, 0.99)
+	sort.Float64s(queueMS)
+	sw.QueueP50MS = percentileF(queueMS, 0.50)
+	sw.QueueP99MS = percentileF(queueMS, 0.99)
+	if submits > 0 {
+		sw.RejectionRate = float64(sw.Rejected) / float64(submits)
+	}
+	return sw
+}
+
+// runJob submits one job and follows its event stream until it terminates.
+// A 429 counts as a rejection; the tenant honors Retry-After and resubmits.
+func runJob(base string, spec serve.JobSpec, res *tenantResult) {
+	body, _ := json.Marshal(spec)
+	submitted := time.Now()
+	for {
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res.failed = append(res.failed, fmt.Sprintf("%s: submit: %v", spec.ID, err))
+			return
+		}
+		msg, _ := readAll(resp)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			res.rejected++
+			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if after < 1 {
+				after = 1
+			}
+			time.Sleep(time.Duration(after) * time.Second)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			res.failed = append(res.failed, fmt.Sprintf("%s: submit status %d: %s", spec.ID, resp.StatusCode, msg))
+			return
+		}
+		break
+	}
+
+	state, err := followEvents(base, spec.ID)
+	if err != nil {
+		res.failed = append(res.failed, fmt.Sprintf("%s: events: %v", spec.ID, err))
+		return
+	}
+	if state != serve.StateDone {
+		res.failed = append(res.failed, fmt.Sprintf("%s: terminal state %s", spec.ID, state))
+		return
+	}
+	res.latencies = append(res.latencies, time.Since(submitted))
+	if m, err := fetchMetrics(base, spec.ID); err == nil {
+		res.queueMS = append(res.queueMS, m.QueueMS)
+	}
+}
+
+// followEvents streams the job's NDJSON events until the server closes the
+// stream at a terminal state, and returns that state.
+func followEvents(base, id string) (string, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events?format=ndjson")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	last := ""
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		ev, err := serve.DecodeEvent(sc.Bytes())
+		if err != nil {
+			return "", err
+		}
+		if ev.Type == "state" {
+			last = ev.State
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if last == "" {
+		return "", fmt.Errorf("stream closed without a state event")
+	}
+	return last, nil
+}
+
+func fetchMetrics(base, id string) (serve.JobMetrics, error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return serve.JobMetrics{}, err
+	}
+	data, err := readAll(resp)
+	if err != nil {
+		return serve.JobMetrics{}, err
+	}
+	var snap struct {
+		Metrics serve.JobMetrics `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return serve.JobMetrics{}, err
+	}
+	return snap.Metrics, nil
+}
+
+func fetchStats(base string) (serve.Stats, error) {
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		return serve.Stats{}, err
+	}
+	data, err := readAll(resp)
+	if err != nil {
+		return serve.Stats{}, err
+	}
+	var st serve.Stats
+	err = json.Unmarshal(data, &st)
+	return st, err
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func percentileF(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

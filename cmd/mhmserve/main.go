@@ -1,0 +1,61 @@
+// Command mhmserve runs the assembly-as-a-service job server: a long-lived
+// HTTP endpoint that accepts concurrent assembly jobs (inline reads or
+// simulated communities), schedules them onto a shared worker-slot budget
+// with priority admission control, streams per-stage progress, and serves
+// results and per-job metrics.
+//
+//	mhmserve -addr :8642 -workers 8 -max-queue 64
+//
+// See the API table in internal/serve (POST /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/jobs/{id}/events, GET /v1/jobs/{id}/fasta, GET /v1/metrics.csv,
+// GET /v1/healthz) and TUTORIAL.md for a walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mhmgo/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8642", "listen address")
+		workers      = flag.Int("workers", 0, "server-wide worker-slot budget (default GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "admission queue capacity (default 64)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "queue-wait budget before a job times out (default 60s)")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		TotalWorkers: *workers,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s}
+
+	// On SIGINT/SIGTERM: stop accepting connections, cancel every queued and
+	// running job (their machines abort at the next barrier), then exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("mhmserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		s.Close()
+	}()
+
+	log.Printf("mhmserve: listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mhmserve: %v", err)
+	}
+}

@@ -86,7 +86,13 @@ func TestDocsRequiredCrossLinks(t *testing.T) {
 			// bit-identity rule.
 			"## 9. Packed 2-bit sequences and word-at-a-time kernels",
 			"seq.Packed", "MismatchCount", "FuzzPackedRoundTrip",
-			"BENCH_kernels.json"},
+			"BENCH_kernels.json",
+			// The serving-layer documentation: the design notes own the
+			// admission policy, the lifecycle state machine and the
+			// cancellation/abort wiring.
+			"## 10. Assembly as a service: admission control and the job lifecycle",
+			"head-of-line", "Retry-After", "AbortOnCancel",
+			"TestServeConcurrentJobsRace", "FuzzJobSpecDecode"},
 		"TUTORIAL.md": {"## 6. Surviving a mid-run kill",
 			"-fail-after-stage", "manifest head", "DESIGN.md) §8",
 			// The tutorial owns the practical guidance on -workers and the
@@ -95,7 +101,11 @@ func TestDocsRequiredCrossLinks(t *testing.T) {
 			// ... and on the per-kernel trajectory file and the pprof
 			// flags.
 			"### Reading `BENCH_kernels.json` and profiling a run",
-			"packed_ns_per_op", "speedup_x", "-cpuprofile", "-memprofile"},
+			"packed_ns_per_op", "speedup_x", "-cpuprofile", "-memprofile",
+			// The tutorial owns the serving walkthrough: submit, stream,
+			// fetch, and the load generator.
+			"## 8. Serving assemblies", "mhmserve", "/v1/jobs",
+			"DESIGN.md) §10", "BENCH_serve.json"},
 	}
 	for doc, wants := range sections {
 		data, err := os.ReadFile(doc)

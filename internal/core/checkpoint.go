@@ -124,6 +124,17 @@ func configHash(cfg Config, ks []int) string {
 	return checkpoint.HashBytes(e.Bytes())
 }
 
+// ConfigHash returns the hex SHA-256 content hash of a configuration after
+// default-normalization: the same identity the checkpoint manifest binds, so
+// two Config values hash equal exactly when they run the identical pipeline.
+// Execution knobs (Ranks via separate validation, Workers, checkpoint and
+// fault-injection fields, the Progress hook) are excluded. The serving layer
+// uses it to prove that a job spec decodes to the configuration it claims.
+func ConfigHash(cfg Config) string {
+	cfg = cfg.withDefaults()
+	return configHash(cfg, cfg.KValues())
+}
+
 // inputHash returns the hex SHA-256 over the full input read set, with
 // length framing so field boundaries cannot alias.
 func inputHash(reads []seq.Read) string {

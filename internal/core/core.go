@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -125,6 +126,16 @@ type Config struct {
 	// manifest head hash are all identical.
 	CheckpointDir string
 	ResumeFrom    string
+
+	// Progress, when non-nil, receives one event after every completed
+	// pipeline stage (and scaffolding round), emitted by rank 0's goroutine
+	// immediately after the stage-end barrier. The callback runs outside
+	// simulated time — it charges nothing and cannot perturb results — but it
+	// executes synchronously on the SPMD critical path, so it should return
+	// quickly (hand the event to a channel or buffer, don't block on I/O).
+	// Progress is an observation hook, not a simulation parameter: it is
+	// excluded from the checkpoint configuration hash.
+	Progress func(ProgressEvent)
 
 	// Fault injection (testing). FailAfterStage kills the run (Assemble
 	// returns ErrFaultInjected) immediately after the named stage of
@@ -262,6 +273,24 @@ func (c Config) KValues() []int {
 	return ks
 }
 
+// ProgressEvent describes one completed pipeline stage of a running
+// assembly, as delivered to Config.Progress. Events arrive in pipeline
+// order; SimSeconds and ResidentBytes are rank 0's view at the stage-end
+// barrier (the clock is identical on every rank there).
+type ProgressEvent struct {
+	// Stage is the completed stage's name (the Stage* constants).
+	Stage string `json:"stage"`
+	// Iteration is the k-iteration index the stage ran in; K its k-mer size.
+	// Scaffolding reports the final iteration.
+	Iteration int `json:"iteration"`
+	K         int `json:"k"`
+	// SimSeconds is the simulated clock at the stage boundary.
+	SimSeconds float64 `json:"sim_seconds"`
+	// ResidentBytes is rank 0's resident collective-payload meter at the
+	// boundary (see pgas.CommStats.PeakResidentBytes for the run-wide peak).
+	ResidentBytes uint64 `json:"resident_bytes"`
+}
+
 // Result is the outcome of an assembly.
 type Result struct {
 	// Contigs are the final contigs of iterative contig generation.
@@ -339,6 +368,18 @@ func (r *Result) FinalSequences() [][]byte {
 // interleaved paired-end (mates at indices 2i and 2i+1); single-end data
 // still assembles but produces no span links.
 func Assemble(reads []seq.Read, cfg Config) (*Result, error) {
+	return AssembleContext(context.Background(), reads, cfg)
+}
+
+// AssembleContext is Assemble with cancellation: when ctx is cancelled the
+// virtual machine aborts (every rank unwinds at its next barrier) and the
+// call returns an error wrapping pgas.ErrAborted together with the context's
+// cause. Cancellation is prompt — collectives are barrier-synchronized, so
+// no rank can block waiting for a peer that already unwound — and clean: the
+// machine's worker pool drains, no goroutines leak, and checkpoints written
+// before the abort remain durable and resumable. This is the serving layer's
+// entry point: each job runs on its own machine under its own context.
+func AssembleContext(ctx context.Context, reads []seq.Read, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	ks := cfg.KValues()
 	if len(ks) == 0 {
@@ -390,10 +431,12 @@ func Assemble(reads []seq.Read, cfg Config) (*Result, error) {
 			fmt.Errorf("%w: killed inside barrier %d", ErrFaultInjected, cfg.FailAtBarrier))
 	}
 
+	stopWatch := machine.AbortOnCancel(ctx)
 	perRank := make([]rankOutput, cfg.Ranks)
 	runRes := machine.Run(func(r *pgas.Rank) {
 		perRank[r.ID()] = runPipeline(r, reads, cfg, ks, ck)
 	})
+	stopWatch()
 	if runRes.Err != nil {
 		return nil, runRes.Err
 	}
@@ -608,6 +651,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 				out.heavyHitterMax = kares.HeavyHitters[0].Count
 			}
 			r.StageEnd(StageKmerAnalysis, st)
+			reportProgress(r, cfg, StageKmerAnalysis, it, k)
 			if ckpt(it, stageIdxKmerAnalysis, k) {
 				return out
 			}
@@ -622,6 +666,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 			cset.ForEachLocal(r, func(_ int, c dbg.Contig) { seqs = append(seqs, c.Seq) })
 			kmeranalysis.MergeContigKmers(r, counts, seqs, k, cfg.MinKmerCount+1)
 			r.StageEnd(StageKmerMerge, st)
+			reportProgress(r, cfg, StageKmerMerge, it, k)
 			if ckpt(it, stageIdxKmerMerge, k) {
 				return out
 			}
@@ -644,6 +689,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 			// iteration builds a fresh one, so it leaves the checkpoint state.
 			counts = nil
 			r.StageEnd(StageDBGTraversal, st)
+			reportProgress(r, cfg, StageDBGTraversal, it, k)
 			if ckpt(it, stageIdxDBGTraversal, k) {
 				return out
 			}
@@ -662,6 +708,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 			refined := cgraph.Refine(r, cset, copts)
 			cset = refined.Set
 			r.StageEnd(StageContigRefine, st)
+			reportProgress(r, cfg, StageContigRefine, it, k)
 			if ckpt(it, stageIdxContigRefine, k) {
 				return out
 			}
@@ -684,6 +731,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 			}
 			out.cacheHitRate = astats.CacheHitRate
 			r.StageEnd(StageAlignment, st)
+			reportProgress(r, cfg, StageAlignment, it, k)
 			if ckpt(it, stageIdxAlignment, k) {
 				return out
 			}
@@ -699,6 +747,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 			lres := localasm.Run(r, cset, myReads, readOffset, lastAligns, lopts)
 			out.localAsmBases = lres.ExtendedBases
 			r.StageEnd(StageLocalAssembly, st)
+			reportProgress(r, cfg, StageLocalAssembly, it, k)
 			if ckpt(it, stageIdxLocalAssembly, k) {
 				return out
 			}
@@ -793,6 +842,7 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 			cset = dbg.DistributeContigs(r, local, mode)
 		}
 		r.StageEnd(StageScaffolding, st)
+		reportProgress(r, cfg, StageScaffolding, finalIt, ks[finalIt])
 		if ckpt(finalIt, stageIdxScaffolding, ks[finalIt]) {
 			return out
 		}
@@ -828,6 +878,24 @@ func runPipeline(r *pgas.Rank, allReads []seq.Read, cfg Config, ks []int, ck *ck
 		r.Compute(float64(len(sorted)))
 	}
 	return out
+}
+
+// reportProgress delivers a stage-completion event to the Progress hook.
+// Only rank 0 reports — the stage-end barrier it follows has synchronized
+// every rank's clock, so rank 0's view is canonical — and the callback runs
+// outside simulated time: nothing is charged, so an observed run stays
+// bit-identical to an unobserved one.
+func reportProgress(r *pgas.Rank, cfg Config, stage string, it, k int) {
+	if cfg.Progress == nil || r.ID() != 0 {
+		return
+	}
+	cfg.Progress(ProgressEvent{
+		Stage:         stage,
+		Iteration:     it,
+		K:             k,
+		SimSeconds:    r.Clock(),
+		ResidentBytes: r.Resident(),
+	})
 }
 
 // sortContigOrder sorts the index slice so that order[i] is the position in

@@ -21,6 +21,7 @@
 package pgas
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sort"
@@ -294,6 +295,39 @@ func (m *Machine) AbortErr() error {
 	m.abortMu.Lock()
 	defer m.abortMu.Unlock()
 	return m.abortErr
+}
+
+// AbortOnCancel arms context-driven cancellation: when ctx is cancelled the
+// machine aborts with the context's cause, so every rank unwinds at its next
+// barrier and Run reports an error wrapping ErrAborted (and the cause). The
+// returned stop function disarms the watcher synchronously — once it returns,
+// no abort from this watcher can happen — and must be called once the run
+// completes, on every path, or the watcher goroutine leaks. A ctx that is
+// never cancelled costs one parked goroutine for the duration of the run.
+func (m *Machine) AbortOnCancel(ctx context.Context) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		select {
+		case <-ctx.Done():
+			// If stop raced the cancellation, disarming wins: the caller
+			// observed stop() return, so no abort may follow it.
+			select {
+			case <-done:
+			default:
+				m.Abort(context.Cause(ctx))
+			}
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
 }
 
 // InjectBarrierFailure arms the mid-collective fault-injection hook: rank 0's

@@ -1,6 +1,8 @@
 package pgas
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -347,4 +349,52 @@ func TestSimulatedTimeScalesWithRanks(t *testing.T) {
 	if t1/t16 < 8 {
 		t.Errorf("16-way speedup of pure compute should be near 16, got %v", t1/t16)
 	}
+}
+
+func TestAbortOnCancelAbortsRun(t *testing.T) {
+	// A cancelled context must abort the machine: every rank unwinds at its
+	// next barrier and Run reports ErrAborted joined with the context cause.
+	cause := errors.New("tenant hung up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m := NewMachine(Config{Ranks: 4, RanksPerNode: 2})
+	stop := m.AbortOnCancel(ctx)
+	defer stop()
+	started := make(chan struct{})
+	var once sync.Once
+	go func() {
+		<-started
+		cancel(cause)
+	}()
+	res := m.Run(func(r *Rank) {
+		// Barrier loop: runs until the abort poisons the barrier. The first
+		// completed barrier releases the canceller.
+		for {
+			r.Compute(100)
+			r.Barrier()
+			once.Do(func() { close(started) })
+		}
+	})
+	if res.Err == nil {
+		t.Fatal("cancelled run must report an error")
+	}
+	if !errors.Is(res.Err, ErrAborted) || !errors.Is(res.Err, cause) {
+		t.Errorf("Err = %v, want ErrAborted joined with the cancel cause", res.Err)
+	}
+}
+
+func TestAbortOnCancelStopDisarms(t *testing.T) {
+	// Calling stop before the context is cancelled must disarm the watcher:
+	// a later cancellation no longer aborts the machine.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m := NewMachine(Config{Ranks: 2})
+	stop := m.AbortOnCancel(ctx)
+	stop()
+	cancel(errors.New("too late"))
+	res := m.Run(func(r *Rank) { r.Barrier() })
+	if res.Err != nil {
+		t.Errorf("disarmed watcher must not abort, got %v", res.Err)
+	}
+	// A background (non-cancellable) context arms nothing at all.
+	stop2 := m.AbortOnCancel(context.Background())
+	stop2()
 }

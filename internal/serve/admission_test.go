@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mhmgo/internal/core"
+	"mhmgo/internal/pgas"
+)
+
+// fakeRuns replaces the server's runFn with a controllable executor: each
+// dispatched job announces itself on started, then blocks until its gate is
+// released (or its context is cancelled, which mimics the pgas abort path
+// by returning an ErrAborted-wrapped error).
+type fakeRuns struct {
+	mu      sync.Mutex
+	gates   map[string]chan struct{}
+	started chan string
+}
+
+func installFakeRuns(s *Server) *fakeRuns {
+	f := &fakeRuns{gates: make(map[string]chan struct{}), started: make(chan string, 64)}
+	s.runFn = func(ctx context.Context, j *Job) (*core.Result, error) {
+		f.started <- j.ID()
+		select {
+		case <-f.gate(j.ID()):
+			return &core.Result{}, nil
+		case <-ctx.Done():
+			return nil, errors.Join(pgas.ErrAborted, context.Cause(ctx))
+		}
+	}
+	return f
+}
+
+// gate returns the job's release channel, creating it on demand, so release
+// works whether it happens before or after the job dispatches.
+func (f *fakeRuns) gate(id string) chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.gates[id]
+	if !ok {
+		ch = make(chan struct{})
+		f.gates[id] = ch
+	}
+	return ch
+}
+
+// release lets the named job finish successfully.
+func (f *fakeRuns) release(id string) { close(f.gate(id)) }
+
+func waitStarted(t *testing.T, f *fakeRuns) string {
+	t.Helper()
+	select {
+	case id := <-f.started:
+		return id
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a job to dispatch")
+		return ""
+	}
+}
+
+func waitState(t *testing.T, j *Job, want string) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s stuck in state %s, want %s", j.ID(), j.State(), want)
+	}
+	if got := j.State(); got != want {
+		t.Fatalf("job %s state = %s, want %s", j.ID(), got, want)
+	}
+}
+
+func simSpec(id string, workers int) JobSpec {
+	return JobSpec{ID: id, Workers: workers, Ranks: 4, Sim: &SimSpec{Genomes: 2, GenomeLen: 2000}}
+}
+
+// TestAdmissionControl is the admission-control table: worker-budget
+// accounting, queue-vs-reject behaviour, priority order, head-of-line
+// blocking, duplicate IDs, queue timeouts, and cancellation of queued and
+// running jobs — all against the runFn seam, no real assemblies.
+func TestAdmissionControl(t *testing.T) {
+	t.Run("single job admitted and completes", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 2})
+		defer s.Close()
+		f := installFakeRuns(s)
+		j, err := s.Submit(simSpec("a", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitStarted(t, f)
+		f.release("a")
+		waitState(t, j, StateDone)
+	})
+
+	t.Run("budget exhausted queues the second job", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 2})
+		defer s.Close()
+		f := installFakeRuns(s)
+		a, _ := s.Submit(simSpec("a", 2))
+		waitStarted(t, f)
+		b, err := s.Submit(simSpec("b", 1))
+		if err != nil {
+			t.Fatalf("second job should queue, got %v", err)
+		}
+		if got := b.State(); got != StateQueued {
+			t.Fatalf("second job state = %s, want queued", got)
+		}
+		f.release("a")
+		waitState(t, a, StateDone)
+		if id := waitStarted(t, f); id != "b" {
+			t.Fatalf("dispatched %s after slots freed, want b", id)
+		}
+		f.release("b")
+		waitState(t, b, StateDone)
+	})
+
+	t.Run("queue full rejects with ErrQueueFull", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 1, MaxQueue: 1})
+		defer s.Close()
+		f := installFakeRuns(s)
+		s.Submit(simSpec("a", 1)) // running
+		waitStarted(t, f)
+		s.Submit(simSpec("b", 1)) // queued (fills the queue)
+		if _, err := s.Submit(simSpec("c", 1)); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("third submit error = %v, want ErrQueueFull", err)
+		}
+		if ra := s.RetryAfter(); ra < 1 {
+			t.Fatalf("RetryAfter = %d, want >= 1", ra)
+		}
+		f.release("a")
+		f.release("b")
+	})
+
+	t.Run("request above total budget is rejected outright", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 2})
+		defer s.Close()
+		installFakeRuns(s)
+		var se *SpecError
+		if _, err := s.Submit(simSpec("a", 3)); !errors.As(err, &se) || se.Field != "workers" {
+			t.Fatalf("oversized request error = %v, want SpecError on workers", err)
+		}
+	})
+
+	t.Run("duplicate job id is rejected", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 2})
+		defer s.Close()
+		f := installFakeRuns(s)
+		s.Submit(simSpec("a", 1))
+		waitStarted(t, f)
+		if _, err := s.Submit(simSpec("a", 1)); !errors.Is(err, ErrDuplicateID) {
+			t.Fatalf("duplicate submit error = %v, want ErrDuplicateID", err)
+		}
+		f.release("a")
+	})
+
+	t.Run("interactive dispatches before earlier batch", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 1})
+		defer s.Close()
+		f := installFakeRuns(s)
+		a, _ := s.Submit(simSpec("a", 1)) // running, holds the only slot
+		waitStarted(t, f)
+		batch := simSpec("batch", 1)
+		batch.Priority = PriorityBatch
+		b, _ := s.Submit(batch)
+		i, _ := s.Submit(simSpec("inter", 1)) // later arrival, higher class
+		f.release("a")
+		waitState(t, a, StateDone)
+		if id := waitStarted(t, f); id != "inter" {
+			t.Fatalf("dispatched %s first, want the interactive job", id)
+		}
+		f.release("inter")
+		waitState(t, i, StateDone)
+		if id := waitStarted(t, f); id != "batch" {
+			t.Fatalf("dispatched %s second, want the batch job", id)
+		}
+		f.release("batch")
+		waitState(t, b, StateDone)
+	})
+
+	t.Run("fifo within a priority class", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 1})
+		defer s.Close()
+		f := installFakeRuns(s)
+		s.Submit(simSpec("a", 1))
+		waitStarted(t, f)
+		s.Submit(simSpec("b", 1))
+		s.Submit(simSpec("c", 1))
+		f.release("a")
+		if id := waitStarted(t, f); id != "b" {
+			t.Fatalf("dispatched %s, want b (FIFO)", id)
+		}
+		f.release("b")
+		if id := waitStarted(t, f); id != "c" {
+			t.Fatalf("dispatched %s, want c (FIFO)", id)
+		}
+		f.release("c")
+	})
+
+	t.Run("head of line blocks smaller later jobs", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 4})
+		defer s.Close()
+		f := installFakeRuns(s)
+		s.Submit(simSpec("hold", 3)) // running: 1 slot free
+		waitStarted(t, f)
+		big, _ := s.Submit(simSpec("big", 4))     // queued: does not fit
+		small, _ := s.Submit(simSpec("small", 1)) // fits, but is behind big
+		time.Sleep(50 * time.Millisecond)
+		if got := small.State(); got != StateQueued {
+			t.Fatalf("small job state = %s: it must not overtake the blocked head-of-line job", got)
+		}
+		f.release("hold")
+		if id := waitStarted(t, f); id != "big" {
+			t.Fatalf("dispatched %s, want big", id)
+		}
+		f.release("big")
+		waitState(t, big, StateDone)
+		if id := waitStarted(t, f); id != "small" {
+			t.Fatalf("dispatched %s, want small", id)
+		}
+		f.release("small")
+		waitState(t, small, StateDone)
+	})
+
+	t.Run("cancelling a queued job unblocks dispatch", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 2})
+		defer s.Close()
+		f := installFakeRuns(s)
+		s.Submit(simSpec("hold", 1)) // running: 1 slot free
+		waitStarted(t, f)
+		big, _ := s.Submit(simSpec("big", 2))     // queued head-of-line, too big
+		small, _ := s.Submit(simSpec("small", 1)) // blocked behind big
+		cj, err := s.Cancel("big")
+		if err != nil || cj != big {
+			t.Fatalf("Cancel(big) = %v, %v", cj, err)
+		}
+		waitState(t, big, StateCancelled)
+		if !errors.Is(big.Err(), ErrJobCancelled) {
+			t.Fatalf("cancelled job err = %v, want ErrJobCancelled", big.Err())
+		}
+		// Removing the blocked head must let the small job through.
+		if id := waitStarted(t, f); id != "small" {
+			t.Fatalf("dispatched %s after cancel, want small", id)
+		}
+		f.release("hold")
+		f.release("small")
+		waitState(t, small, StateDone)
+	})
+
+	t.Run("queue timeout expires a waiting job", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 1, QueueTimeout: 30 * time.Millisecond})
+		defer s.Close()
+		f := installFakeRuns(s)
+		s.Submit(simSpec("hold", 1))
+		waitStarted(t, f)
+		b, _ := s.Submit(simSpec("b", 1))
+		waitState(t, b, StateTimeout)
+		if !errors.Is(b.Err(), ErrQueueTimeout) {
+			t.Fatalf("timed-out job err = %v, want ErrQueueTimeout", b.Err())
+		}
+		f.release("hold")
+	})
+
+	t.Run("per-spec queue timeout overrides the server default", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 1, QueueTimeout: time.Hour})
+		defer s.Close()
+		f := installFakeRuns(s)
+		s.Submit(simSpec("hold", 1))
+		waitStarted(t, f)
+		spec := simSpec("b", 1)
+		spec.QueueTimeoutMS = 30
+		b, _ := s.Submit(spec)
+		waitState(t, b, StateTimeout)
+		f.release("hold")
+	})
+
+	t.Run("cancelling a running job aborts and frees its slots", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 2})
+		defer s.Close()
+		f := installFakeRuns(s)
+		a, _ := s.Submit(simSpec("a", 2))
+		waitStarted(t, f)
+		s.Cancel("a")
+		waitState(t, a, StateCancelled)
+		if !errors.Is(a.Err(), pgas.ErrAborted) {
+			t.Fatalf("cancelled running job err = %v, want ErrAborted", a.Err())
+		}
+		if st := s.Stats(); st.FreeWorkers != 2 {
+			t.Fatalf("FreeWorkers = %d after cancel, want 2", st.FreeWorkers)
+		}
+		// The pool is not wedged: a fresh job still runs to completion.
+		b, _ := s.Submit(simSpec("b", 2))
+		waitStarted(t, f)
+		f.release("b")
+		waitState(t, b, StateDone)
+	})
+
+	t.Run("cancelling a terminal job is a no-op", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 1})
+		defer s.Close()
+		f := installFakeRuns(s)
+		a, _ := s.Submit(simSpec("a", 1))
+		waitStarted(t, f)
+		f.release("a")
+		waitState(t, a, StateDone)
+		if j, err := s.Cancel("a"); err != nil || j.State() != StateDone {
+			t.Fatalf("Cancel(done job) = state %s, err %v; want done, nil", j.State(), err)
+		}
+	})
+
+	t.Run("unknown job id on cancel", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 1})
+		defer s.Close()
+		if _, err := s.Cancel("nope"); !errors.Is(err, ErrUnknownJob) {
+			t.Fatalf("Cancel(unknown) error = %v, want ErrUnknownJob", err)
+		}
+	})
+
+	t.Run("close cancels queued and running jobs and rejects new ones", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 1})
+		f := installFakeRuns(s)
+		a, _ := s.Submit(simSpec("a", 1))
+		waitStarted(t, f)
+		b, _ := s.Submit(simSpec("b", 1))
+		s.Close()
+		waitState(t, a, StateCancelled)
+		waitState(t, b, StateCancelled)
+		if _, err := s.Submit(simSpec("c", 1)); !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("submit after close error = %v, want ErrServerClosed", err)
+		}
+	})
+
+	t.Run("generated ids are unique and sequential", func(t *testing.T) {
+		s := New(Options{TotalWorkers: 16, MaxQueue: 16})
+		defer s.Close()
+		f := installFakeRuns(s)
+		seen := map[string]bool{}
+		var jobs []*Job
+		for i := 0; i < 4; i++ {
+			spec := simSpec("", 1)
+			j, err := s.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if j.ID() == "" || seen[j.ID()] {
+				t.Fatalf("generated id %q empty or duplicated", j.ID())
+			}
+			seen[j.ID()] = true
+			jobs = append(jobs, j)
+		}
+		for _, j := range jobs {
+			waitStarted(t, f)
+			f.release(j.ID())
+		}
+		for _, j := range jobs {
+			waitState(t, j, StateDone)
+		}
+	})
+}
+
+// TestAdmissionEventStream checks that a job's event log records its full
+// lifecycle with dense sequence numbers.
+func TestAdmissionEventStream(t *testing.T) {
+	s := New(Options{TotalWorkers: 1})
+	defer s.Close()
+	f := installFakeRuns(s)
+	j, err := s.Submit(simSpec("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStarted(t, f)
+	f.release("a")
+	waitState(t, j, StateDone)
+	evs, _, terminal := j.Events(0)
+	if !terminal {
+		t.Fatal("event stream not terminal after done")
+	}
+	var states []string
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: sequence numbers must be dense", i, ev.Seq)
+		}
+		if ev.Type == "state" {
+			states = append(states, ev.State)
+		}
+	}
+	want := fmt.Sprintf("%v", []string{StateQueued, StateRunning, StateDone})
+	if got := fmt.Sprintf("%v", states); got != want {
+		t.Fatalf("state transitions = %s, want %s", got, want)
+	}
+}

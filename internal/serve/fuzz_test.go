@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"mhmgo/internal/core"
+)
+
+// FuzzJobSpecDecode fuzzes the job-spec decoder: arbitrary bytes must never
+// panic, invalid documents must fail with a structured *SpecError (the 400
+// body), and every accepted spec must round-trip — re-encoding and
+// re-decoding reproduces the normalized spec and its core.ConfigHash
+// exactly, so a job resubmitted from a server echo runs the identical
+// configuration.
+func FuzzJobSpecDecode(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"sim": {}}`,
+		`{"sim": {"genomes": 3, "genome_len": 5000, "coverage": 12, "seed": 42}}`,
+		`{"id": "j1", "priority": "batch", "workers": 4, "ranks": 16, "ranks_per_node": 8, "sim": {"seed": 1}}`,
+		`{"kmin": 21, "kmax": 63, "kstep": 22, "min_contig_len": 500, "no_scaffold": true, "sim": {}}`,
+		`{"sim": {"libraries": [{"insert_size": 200, "insert_std": 20, "share": 0.5}, {"insert_size": 600, "share": 0.5}]}}`,
+		`{"libraries": [{"name": "pe", "insert_size": 300, "reads": ">r0\nACGTACGTAC\n>r1\nGTACGTACGT\n"}]}`,
+		`{"libraries": [{"reads": "@r0\nACGT\n+\nIIII\n@r1\nTTTT\n+\nIIII\n"}]}`,
+		`{"workers": -1, "sim": {}}`,
+		`{"ranks": 100000, "sim": {}}`,
+		`{"priority": "urgent", "sim": {}}`,
+		`{"sim": {}, "libraries": [{"reads": ">r\nA\n"}]}`,
+		`{"sim": {"error_rate": 2}}`,
+		`{"unknown_field": 1}`,
+		`{"sim": {}} trailing`,
+		`not json at all`,
+		``,
+		`null`,
+		`[1,2,3]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(data)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("DecodeSpec error %v (%T) is not a *SpecError", err, err)
+			}
+			if se.Field == "" || se.Msg == "" {
+				t.Fatalf("SpecError %+v has an empty field or message", se)
+			}
+			return
+		}
+		// Accepted: the spec is already normalized and must survive an
+		// encode/decode round trip bit-for-bit.
+		enc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-encoding accepted spec: %v", err)
+		}
+		spec2, err := DecodeSpec(enc)
+		if err != nil {
+			t.Fatalf("re-decoding %s: %v", enc, err)
+		}
+		enc2, err := json.Marshal(spec2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("spec round trip diverged:\n%s\n%s", enc, enc2)
+		}
+		cfg1, err1 := spec.Config()
+		cfg2, err2 := spec2.Config()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Config() on accepted spec failed: %v / %v", err1, err2)
+		}
+		if h1, h2 := core.ConfigHash(cfg1), core.ConfigHash(cfg2); h1 != h2 {
+			t.Fatalf("config hash diverged across round trip: %s vs %s", h1, h2)
+		}
+	})
+}
+
+// FuzzProgressEventDecode fuzzes the progress-event decoder clients use on
+// the SSE/NDJSON stream: arbitrary bytes never panic, and every accepted
+// event re-encodes to its canonical form and decodes back identically.
+func FuzzProgressEventDecode(f *testing.F) {
+	seeds := []string{
+		`{"seq": 0, "type": "state", "state": "queued"}`,
+		`{"seq": 3, "type": "state", "state": "failed", "error": "boom"}`,
+		`{"seq": 1, "type": "stage", "stage": "kmer_analysis", "iteration": 0, "k": 21, "sim_seconds": 0.25, "resident_bytes": 4096}`,
+		`{"seq": -1, "type": "state"}`,
+		`{"seq": 0, "type": "bogus"}`,
+		`{"seq": 0, "type": "stage", "k": -3}`,
+		`{"seq": 0, "type": "state", "state": "queued"} extra`,
+		`{"unknown": true}`,
+		`{}`,
+		`null`,
+		`42`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := DecodeEvent(data)
+		if err != nil {
+			return
+		}
+		enc, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("re-encoding accepted event: %v", err)
+		}
+		ev2, err := DecodeEvent(enc)
+		if err != nil {
+			t.Fatalf("re-decoding %s: %v", enc, err)
+		}
+		if ev != ev2 {
+			t.Fatalf("event round trip diverged: %+v vs %+v", ev, ev2)
+		}
+	})
+}

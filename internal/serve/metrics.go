@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JobMetrics is the flat per-job record the server reports: one row per
+// job, scalar fields only, so a fleet of them concatenates straight into a
+// CSV or a metrics pipeline. Timing is split along the job lifecycle
+// (queue wait vs run) and the assembly's own meters (simulated seconds,
+// communication totals, peak resident) are carried through from the result.
+type JobMetrics struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Priority string `json:"priority"`
+	Workers  int    `json:"workers"`
+	Ranks    int    `json:"ranks"`
+
+	// SubmitUnixMS stamps admission; QueueMS is the queued-to-started wait,
+	// RunMS the started-to-finished execution, TotalMS submit-to-finish.
+	// In-flight jobs report the elapsed time so far for the open interval.
+	SubmitUnixMS int64   `json:"submit_unix_ms"`
+	QueueMS      float64 `json:"queue_ms"`
+	RunMS        float64 `json:"run_ms"`
+	TotalMS      float64 `json:"total_ms"`
+
+	// Assembly meters (zero until the job completes).
+	SimSeconds        float64 `json:"sim_seconds"`
+	TotalReads        int     `json:"total_reads"`
+	Contigs           int     `json:"contigs"`
+	Scaffolds         int     `json:"scaffolds"`
+	ScaffoldN50       int     `json:"scaffold_n50"`
+	PeakResidentBytes uint64  `json:"peak_resident_bytes"`
+	BytesSent         uint64  `json:"bytes_sent"`
+	BytesReceived     uint64  `json:"bytes_received"`
+
+	// Error is the failure (or cancellation cause) of a terminal job.
+	Error string `json:"error,omitempty"`
+}
+
+// MetricsCSVHeader returns the CSV header row matching JobMetrics.CSVRow.
+func MetricsCSVHeader() string {
+	return "id,state,priority,workers,ranks,submit_unix_ms,queue_ms,run_ms,total_ms," +
+		"sim_seconds,total_reads,contigs,scaffolds,scaffold_n50," +
+		"peak_resident_bytes,bytes_sent,bytes_received,error"
+}
+
+// CSVRow renders the metrics as one CSV row (fields in header order).
+func (m JobMetrics) CSVRow() string {
+	return fmt.Sprintf("%s,%s,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.9f,%d,%d,%d,%d,%d,%d,%d,%s",
+		csvEscape(m.ID), m.State, m.Priority, m.Workers, m.Ranks,
+		m.SubmitUnixMS, m.QueueMS, m.RunMS, m.TotalMS,
+		m.SimSeconds, m.TotalReads, m.Contigs, m.Scaffolds, m.ScaffoldN50,
+		m.PeakResidentBytes, m.BytesSent, m.BytesReceived, csvEscape(m.Error))
+}
+
+// csvEscape quotes a field that contains CSV metacharacters.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
