@@ -364,6 +364,85 @@ func BenchmarkWallclockScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkCoassembly measures what pooling samples buys: for 1, 2 and 4
+// samples of the CoassemblyScenario community it assembles the pooled read
+// set and each sample alone, and reports the rare genome's reference
+// coverage for the co-assembly versus the best single sample, plus the
+// co-assembly N50. The comparison is written to BENCH_coassembly.json so
+// each CI run records the recovery margin.
+func BenchmarkCoassembly(b *testing.B) {
+	type point struct {
+		Samples        int     `json:"samples"`
+		Reads          int     `json:"reads"`
+		CoRareFraction float64 `json:"co_rare_fraction"`
+		BestSingleRare float64 `json:"best_single_rare_fraction"`
+		Margin         float64 `json:"margin"`
+		CoN50          int     `json:"co_n50"`
+		CoSimSeconds   float64 `json:"co_sim_seconds"`
+	}
+	cfg := mhmgo.DefaultConfig(4)
+	cfg.KMin, cfg.KMax, cfg.KStep = 21, 33, 12
+	cfg.InsertSize, cfg.InsertStd = 280, 25
+	for i := 0; i < b.N; i++ {
+		var points []point
+		for _, n := range []int{1, 2, 4} {
+			comm, rc := mhmgo.CoassemblyScenario(n, 42)
+			reads := mhmgo.SimulateReads(comm, rc)
+			rare := ""
+			for _, g := range comm.Genomes {
+				if rare == "" || g.Abundance < comm.GenomeByName(rare).Abundance {
+					rare = g.Name
+				}
+			}
+			rareFrac := func(rd []mhmgo.Read) (float64, int, float64) {
+				res, err := mhmgo.Assemble(rd, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := mhmgo.Evaluate("co", res.FinalSequences(), comm)
+				for _, g := range rep.PerGenome {
+					if g.Name == rare {
+						return g.GenomeFraction, rep.N50, res.SimSeconds
+					}
+				}
+				return 0, rep.N50, res.SimSeconds
+			}
+			coFrac, coN50, coSim := rareFrac(reads)
+			perSample := make([][]mhmgo.Read, n)
+			for _, r := range reads {
+				perSample[r.SampleID] = append(perSample[r.SampleID], r)
+			}
+			best := 0.0
+			for _, sub := range perSample {
+				if f, _, _ := rareFrac(sub); f > best {
+					best = f
+				}
+			}
+			points = append(points, point{
+				Samples: n, Reads: len(reads),
+				CoRareFraction: coFrac, BestSingleRare: best, Margin: coFrac - best,
+				CoN50: coN50, CoSimSeconds: coSim,
+			})
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.CoRareFraction, "co_rare_fraction")
+		b.ReportMetric(last.BestSingleRare, "best_single_rare_fraction")
+		b.ReportMetric(last.Margin, "recovery_margin")
+		b.ReportMetric(float64(last.CoN50), "co_N50")
+		report := map[string]any{
+			"ranks":  4,
+			"points": points,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_coassembly.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMultiLibraryScaffolding compares round-based multi-library
 // scaffolding (a 300 bp paired-end plus a 1500 bp jumping library, one round
 // per library in ascending insert order) against the legacy single-library

@@ -9,12 +9,22 @@
 // Each library is written to its own FASTQ file (the -reads-out name with a
 // .libN suffix before the extension) so the files can be fed straight into
 // mhm's per-library -reads list.
+//
+// Multi-sample simulation: -samples takes a comma-separated list of
+// name[:share] entries, e.g. "-samples t0,t1,t2:0.5". Every sample sequences
+// the same community through its own abundance view: -sample-drift applies
+// log-normal abundance drift to every sample after the first (a time-series
+// baseline plus drifted follow-ups) and -sample-contamination plants a
+// sample-private contaminant into each sample. Each sample is written to its
+// own FASTQ file (a .sN suffix before the extension, composing with the
+// per-library .libN suffix) ready for mhm's -sample-reads list.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -57,6 +67,57 @@ func parseLibraries(s string) ([]sim.LibraryConfig, error) {
 	return libs, nil
 }
 
+// parseSamples parses the -samples spec: a comma-separated list of
+// name[:share] entries. drift and contamination apply the -sample-drift and
+// -sample-contamination flags: drift skips the first sample (the time-series
+// baseline), contamination applies to every sample.
+func parseSamples(s string, drift, contamination float64) ([]sim.SampleConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if drift < 0 {
+		return nil, fmt.Errorf("-sample-drift must be >= 0 (got %v)", drift)
+	}
+	if contamination < 0 || contamination > 0.9 {
+		return nil, fmt.Errorf("-sample-contamination must be in [0, 0.9] (got %v)", contamination)
+	}
+	seen := map[string]bool{}
+	var samples []sim.SampleConfig
+	for i, entry := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(entry), ":")
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("sample %q: want name[:share]", entry)
+		}
+		sc := sim.SampleConfig{Name: strings.TrimSpace(fields[0])}
+		if sc.Name == "" {
+			return nil, fmt.Errorf("sample %d has an empty name", i)
+		}
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("duplicate sample name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if len(fields) > 1 {
+			share, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sample %q: bad coverage share: %v", entry, err)
+			}
+			if math.IsNaN(share) || math.IsInf(share, 0) || share < 0 {
+				return nil, fmt.Errorf("sample %q: coverage share must be a finite value >= 0 (got %v)", entry, share)
+			}
+			sc.CoverageShare = share
+		}
+		if i > 0 {
+			sc.AbundanceSigma = drift
+		}
+		sc.ContaminantFraction = contamination
+		samples = append(samples, sc)
+	}
+	if len(samples) > 256 {
+		return nil, fmt.Errorf("%d samples exceed the 256 the one-byte sample tag can address", len(samples))
+	}
+	return samples, nil
+}
+
 // libFileName inserts ".libN" before the file-name extension of path (a dot
 // in a directory component is not an extension).
 func libFileName(path string, i int) string {
@@ -65,6 +126,16 @@ func libFileName(path string, i int) string {
 		return fmt.Sprintf("%s.lib%d%s", strings.TrimSuffix(path, ext), i, ext)
 	}
 	return fmt.Sprintf("%s.lib%d", path, i)
+}
+
+// sampleFileName inserts ".sN" before the file-name extension of path; it
+// composes with libFileName ("reads.s0.lib1.fastq").
+func sampleFileName(path string, i int) string {
+	ext := filepath.Ext(filepath.Base(path))
+	if ext != "" {
+		return fmt.Sprintf("%s.s%d%s", strings.TrimSuffix(path, ext), i, ext)
+	}
+	return fmt.Sprintf("%s.s%d", path, i)
 }
 
 func main() {
@@ -76,6 +147,9 @@ func main() {
 		readLen   = flag.Int("read-len", 100, "read length")
 		insert    = flag.Int("insert", seq.DefaultInsertSize, "insert size (single-library mode)")
 		libraries = flag.String("libraries", "", "multi-library spec: insert[:std[:share]],... (overrides -insert)")
+		samplesIn = flag.String("samples", "", "multi-sample spec: name[:share],... (one sample's reads per output file)")
+		drift     = flag.Float64("sample-drift", 0, "log-normal abundance drift sigma applied to every sample after the first")
+		contam    = flag.Float64("sample-contamination", 0, "fraction of each sample's reads drawn from a sample-private contaminant")
 		errRate   = flag.Float64("error-rate", 0.01, "per-base error rate")
 		seed      = flag.Int64("seed", 1, "random seed")
 		readsOut  = flag.String("reads-out", "reads.fastq", "output FASTQ for reads")
@@ -86,6 +160,13 @@ func main() {
 	libs, err := parseLibraries(*libraries)
 	if err != nil {
 		log.Fatalf("mgsim: -libraries: %v", err)
+	}
+	samples, err := parseSamples(*samplesIn, *drift, *contam)
+	if err != nil {
+		log.Fatalf("mgsim: -samples: %v", err)
+	}
+	if *samplesIn == "" && (*drift != 0 || *contam != 0) {
+		log.Fatalf("mgsim: -sample-drift and -sample-contamination require -samples")
 	}
 
 	comm := sim.GenerateCommunity(sim.CommunityConfig{
@@ -100,29 +181,58 @@ func main() {
 		ErrorRate:  *errRate,
 		Coverage:   *coverage,
 		Libraries:  libs,
+		Samples:    samples,
 		Seed:       *seed + 1,
 	}
 	reads := sim.SimulateReads(comm, readCfg)
 
-	if len(libs) > 0 {
-		// One FASTQ per library, ready for mhm's per-library -reads list.
-		norm := readCfg.Normalized()
-		for i, lib := range norm.Libraries {
-			var libReads []seq.Read
-			for _, r := range reads {
-				if int(r.LibID) == i {
-					libReads = append(libReads, r)
-				}
+	// writeBlock emits the reads passing the filter to one FASTQ file.
+	writeBlock := func(name string, keep func(seq.Read) bool) int {
+		var block []seq.Read
+		for _, r := range reads {
+			if keep(r) {
+				block = append(block, r)
 			}
-			name := libFileName(*readsOut, i)
-			if err := fastx.WriteReadsFASTQ(name, libReads); err != nil {
-				log.Fatalf("mgsim: %v", err)
-			}
-			fmt.Printf("library %d (%s, insert %d±%d, share %.2f): %d reads -> %s\n",
-				i, lib.Name, lib.InsertSize, lib.InsertStd, lib.CoverageShare, len(libReads), name)
 		}
-	} else if err := fastx.WriteReadsFASTQ(*readsOut, reads); err != nil {
-		log.Fatalf("mgsim: %v", err)
+		if err := fastx.WriteReadsFASTQ(name, block); err != nil {
+			log.Fatalf("mgsim: %v", err)
+		}
+		return len(block)
+	}
+	norm := readCfg.Normalized()
+	switch {
+	case len(samples) > 0:
+		// One FASTQ per sample (per library when -libraries is also set),
+		// ready for mhm's -sample-reads list.
+		for si, s := range norm.Samples {
+			si, s := si, s
+			base := sampleFileName(*readsOut, si)
+			if len(libs) == 0 {
+				n := writeBlock(base, func(r seq.Read) bool { return int(r.SampleID) == si })
+				fmt.Printf("sample %d (%s, share %.2f): %d reads -> %s\n", si, s.Name, s.CoverageShare, n, base)
+				continue
+			}
+			for li, lib := range norm.Libraries {
+				li := li
+				name := libFileName(base, li)
+				n := writeBlock(name, func(r seq.Read) bool { return int(r.SampleID) == si && int(r.LibID) == li })
+				fmt.Printf("sample %d (%s) library %d (%s, insert %d±%d): %d reads -> %s\n",
+					si, s.Name, li, lib.Name, lib.InsertSize, lib.InsertStd, n, name)
+			}
+		}
+	case len(libs) > 0:
+		// One FASTQ per library, ready for mhm's per-library -reads list.
+		for i, lib := range norm.Libraries {
+			i := i
+			name := libFileName(*readsOut, i)
+			n := writeBlock(name, func(r seq.Read) bool { return int(r.LibID) == i })
+			fmt.Printf("library %d (%s, insert %d±%d, share %.2f): %d reads -> %s\n",
+				i, lib.Name, lib.InsertSize, lib.InsertStd, lib.CoverageShare, n, name)
+		}
+	default:
+		if err := fastx.WriteReadsFASTQ(*readsOut, reads); err != nil {
+			log.Fatalf("mgsim: %v", err)
+		}
 	}
 	names := make([]string, len(comm.Genomes))
 	seqs := make([][]byte, len(comm.Genomes))
@@ -134,7 +244,7 @@ func main() {
 		log.Fatalf("mgsim: %v", err)
 	}
 	fmt.Printf("simulated %d genomes (%d bases) and %d reads\n", len(comm.Genomes), comm.TotalBases(), len(reads))
-	if len(libs) == 0 {
+	if len(libs) == 0 && len(samples) == 0 {
 		fmt.Printf("reads: %s, references: %s\n", *readsOut, *refOut)
 	} else {
 		fmt.Printf("references: %s\n", *refOut)

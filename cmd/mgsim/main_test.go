@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseSamples(t *testing.T) {
+	big := make([]string, 257)
+	for i := range big {
+		big[i] = fmt.Sprintf("s%d", i)
+	}
+	cases := []struct {
+		name          string
+		spec          string
+		drift, contam float64
+		wantNames     []string
+		wantShares    []float64
+		wantErr       string // substring of the error, "" = valid
+	}{
+		{"empty spec", "", 0, 0, nil, nil, ""},
+		{"two plain samples", "t0,t1", 0, 0, []string{"t0", "t1"}, []float64{0, 0}, ""},
+		{"explicit shares", "t0:0.75,t1:0.25", 0, 0, []string{"t0", "t1"}, []float64{0.75, 0.25}, ""},
+		{"whitespace trimmed", " t0 , t1 ", 0, 0, []string{"t0", "t1"}, []float64{0, 0}, ""},
+		{"drift and contamination in range", "t0,t1", 0.4, 0.05, []string{"t0", "t1"}, []float64{0, 0}, ""},
+		{"empty name", "t0,,t1", 0, 0, nil, nil, "empty name"},
+		{"share with empty name", ":0.5", 0, 0, nil, nil, "empty name"},
+		{"duplicate names", "t0,t0", 0, 0, nil, nil, `duplicate sample name "t0"`},
+		{"too many fields", "t0:0.5:9", 0, 0, nil, nil, "want name[:share]"},
+		{"bad share", "t0:x", 0, 0, nil, nil, "bad coverage share"},
+		{"NaN share", "t0:NaN", 0, 0, nil, nil, "finite value"},
+		{"infinite share", "t0:+Inf", 0, 0, nil, nil, "finite value"},
+		{"negative share", "t0:-0.5", 0, 0, nil, nil, "finite value >= 0"},
+		{"negative drift", "t0,t1", -0.1, 0, nil, nil, "-sample-drift must be >= 0"},
+		{"negative contamination", "t0,t1", 0, -0.1, nil, nil, "-sample-contamination must be in [0, 0.9]"},
+		{"contamination above cap", "t0,t1", 0, 0.95, nil, nil, "-sample-contamination must be in [0, 0.9]"},
+		{"too many samples", strings.Join(big, ","), 0, 0, nil, nil, "exceed the 256"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseSamples(tc.spec, tc.drift, tc.contam)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("parseSamples(%q, %v, %v) = nil error, want error containing %q", tc.spec, tc.drift, tc.contam, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseSamples(%q, %v, %v) = %q, want it to contain %q", tc.spec, tc.drift, tc.contam, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseSamples(%q, %v, %v) error = %v, want nil", tc.spec, tc.drift, tc.contam, err)
+			}
+			if len(got) != len(tc.wantNames) {
+				t.Fatalf("parseSamples(%q) yielded %d samples, want %d", tc.spec, len(got), len(tc.wantNames))
+			}
+			for i, sc := range got {
+				if sc.Name != tc.wantNames[i] {
+					t.Errorf("sample %d name = %q, want %q", i, sc.Name, tc.wantNames[i])
+				}
+				if sc.CoverageShare != tc.wantShares[i] {
+					t.Errorf("sample %d share = %v, want %v", i, sc.CoverageShare, tc.wantShares[i])
+				}
+				// -sample-drift models a time series: the first sample is the
+				// undrifted baseline, every later one drifts.
+				wantSigma := tc.drift
+				if i == 0 {
+					wantSigma = 0
+				}
+				if sc.AbundanceSigma != wantSigma {
+					t.Errorf("sample %d sigma = %v, want %v", i, sc.AbundanceSigma, wantSigma)
+				}
+				if sc.ContaminantFraction != tc.contam {
+					t.Errorf("sample %d contaminant fraction = %v, want %v", i, sc.ContaminantFraction, tc.contam)
+				}
+			}
+		})
+	}
+}
+
+func TestOutputFileNames(t *testing.T) {
+	cases := []struct {
+		name string
+		got  string
+		want string
+	}{
+		{"sample suffix before extension", sampleFileName("reads.fastq", 0), "reads.s0.fastq"},
+		{"sample suffix without extension", sampleFileName("reads", 3), "reads.s3"},
+		{"library suffix before extension", libFileName("reads.fastq", 1), "reads.lib1.fastq"},
+		{"library suffix without extension", libFileName("reads", 2), "reads.lib2"},
+		{"dotted directory is not an extension", sampleFileName("out.d/reads", 1), "out.d/reads.s1"},
+		{"sample then library composes", libFileName(sampleFileName("reads.fastq", 0), 1), "reads.s0.lib1.fastq"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.got != tc.want {
+				t.Fatalf("got %q, want %q", tc.got, tc.want)
+			}
+		})
+	}
+}

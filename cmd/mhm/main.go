@@ -10,6 +10,15 @@
 // insert-size order:
 //
 //	mhm -reads pe300.fastq,mp1500.fastq -insert 300,1500 -out scaffolds.fasta
+//
+// Multi-sample co-assembly: pass -sample-reads a semicolon-separated list of
+// name=files entries (each sample's comma-separated per-library file list;
+// every sample must list the same number of libraries). The union of all
+// samples' reads is co-assembled into one set of scaffolds, every read keeps
+// its sample tag, and the run reports how many of each sample's reads
+// localize back onto the co-assembly:
+//
+//	mhm -sample-reads 't0=t0.fastq;t1=t1.fastq' -insert 280 -out scaffolds.fasta
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"strings"
 
 	"mhmgo/internal/core"
+	"mhmgo/internal/eval"
 	"mhmgo/internal/fastx"
 	"mhmgo/internal/pgas"
 	"mhmgo/internal/seq"
@@ -73,9 +83,67 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// sampleReadsSpec is one sample's parsed -sample-reads entry: the sample's
+// name and its per-library FASTQ files in library order.
+type sampleReadsSpec struct {
+	Name  string
+	Files []string
+}
+
+// parseSampleReads parses the -sample-reads spec: a semicolon-separated list
+// of name=file[,file...] entries, one per sample. Every sample must list the
+// same number of files — file i of each sample is library i, so a ragged
+// list would silently mispair libraries across samples.
+func parseSampleReads(s string) ([]sampleReadsSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	var specs []sampleReadsSpec
+	for i, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("sample entry %d is empty; want name=file[,file...]", i)
+		}
+		name, fileList, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("sample entry %q: want name=file[,file...]", entry)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("sample entry %q has an empty name", entry)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate sample name %q", name)
+		}
+		seen[name] = true
+		var files []string
+		for _, f := range strings.Split(fileList, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				return nil, fmt.Errorf("sample %q lists an empty file name", name)
+			}
+			files = append(files, f)
+		}
+		if len(specs) > 0 && len(files) != len(specs[0].Files) {
+			return nil, fmt.Errorf("sample %q lists %d libraries but sample %q lists %d; every sample must provide the same libraries",
+				name, len(files), specs[0].Name, len(specs[0].Files))
+		}
+		specs = append(specs, sampleReadsSpec{Name: name, Files: files})
+	}
+	if len(specs) > 256 {
+		return nil, fmt.Errorf("%d samples exceed the 256 the one-byte sample tag can address", len(specs))
+	}
+	if len(specs[0].Files) > 256 {
+		return nil, fmt.Errorf("%d libraries per sample exceed the 256 the one-byte library tag can address", len(specs[0].Files))
+	}
+	return specs, nil
+}
+
 func main() {
 	var (
-		in           = flag.String("reads", "", "interleaved paired-end FASTQ/FASTA file(s), comma-separated, one per library (required)")
+		in           = flag.String("reads", "", "interleaved paired-end FASTQ/FASTA file(s), comma-separated, one per library (required unless -sample-reads)")
+		sampleIn     = flag.String("sample-reads", "", "multi-sample co-assembly input: name=file[,file...] entries separated by ';', one per sample")
 		out          = flag.String("out", "scaffolds.fasta", "output FASTA file")
 		ranks        = flag.Int("ranks", 8, "virtual PGAS ranks")
 		ranksPerNode = flag.Int("ranks-per-node", 4, "ranks per virtual node")
@@ -95,7 +163,14 @@ func main() {
 		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
-	if *in == "" {
+	sampleSpecs, err := parseSampleReads(*sampleIn)
+	if err != nil {
+		log.Fatalf("mhm: -sample-reads: %v", err)
+	}
+	if *in != "" && len(sampleSpecs) > 0 {
+		log.Fatalf("mhm: -reads and -sample-reads are mutually exclusive; list every sample's files in -sample-reads")
+	}
+	if *in == "" && len(sampleSpecs) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -134,7 +209,34 @@ func main() {
 		}
 	}
 
-	files := strings.Split(*in, ",")
+	// Flatten the inputs to one (path, sample, library) entry per file. With
+	// -reads every file is one library of the single implicit sample; with
+	// -sample-reads file i of each sample is library i, and the union of all
+	// samples' reads is co-assembled with per-read sample tags.
+	type inputFile struct {
+		path   string
+		sample uint8
+		lib    uint8
+	}
+	var inputs []inputFile
+	if len(sampleSpecs) > 0 {
+		for si, sp := range sampleSpecs {
+			for li, f := range sp.Files {
+				inputs = append(inputs, inputFile{path: f, sample: uint8(si), lib: uint8(li)})
+			}
+		}
+	} else {
+		for i, f := range strings.Split(*in, ",") {
+			if i > 255 {
+				log.Fatalf("mhm: %d -reads files exceed the 256 the one-byte library tag can address", i+1)
+			}
+			inputs = append(inputs, inputFile{path: strings.TrimSpace(f), lib: uint8(i)})
+		}
+	}
+	numLibs := len(inputs)
+	if len(sampleSpecs) > 0 {
+		numLibs = len(sampleSpecs[0].Files)
+	}
 	inserts, err := parseIntList(*insert)
 	if err != nil {
 		log.Fatalf("mhm: -insert: %v", err)
@@ -143,45 +245,60 @@ func main() {
 	if err != nil {
 		log.Fatalf("mhm: -insert-std: %v", err)
 	}
-	if len(inserts) > 0 && len(inserts) != len(files) {
-		log.Fatalf("mhm: %d -insert values for %d -reads files", len(inserts), len(files))
+	if len(inserts) > 0 && len(inserts) != numLibs {
+		log.Fatalf("mhm: %d -insert values for %d libraries", len(inserts), numLibs)
 	}
-	if len(stds) > 0 && len(stds) != len(files) {
-		log.Fatalf("mhm: %d -insert-std values for %d -reads files", len(stds), len(files))
+	if len(stds) > 0 && len(stds) != numLibs {
+		log.Fatalf("mhm: %d -insert-std values for %d libraries", len(stds), numLibs)
 	}
 
-	// One library per input file: reads are tagged with the file's index so
-	// the scaffolder can partition alignments per library.
-	var reads []seq.Read
-	libs := make([]seq.Library, len(files))
-	for i, f := range files {
-		f = strings.TrimSpace(f)
-		block, err := fastx.ReadReadsFile(f)
-		if err != nil {
-			log.Fatalf("mhm: reading %s: %v", f, err)
+	// One library per library index: in -reads mode a library is named after
+	// its file; in -sample-reads mode library i spans one file per sample, so
+	// it gets a positional name.
+	libs := make([]seq.Library, numLibs)
+	for li := range libs {
+		lib := seq.Library{InsertSize: seq.DefaultInsertSize, InsertStd: seq.DefaultInsertStd}
+		if len(sampleSpecs) > 0 {
+			lib.Name = fmt.Sprintf("lib%d", li)
+		} else {
+			lib.Name = inputs[li].path
 		}
-		// Pairing is positional (mates at global indices 2i and 2i+1), so an
-		// odd-length block would misalign every later library's pairs; drop
-		// the trailing unpaired read of any non-final file.
-		if len(block)%2 != 0 && i != len(files)-1 {
-			log.Printf("mhm: warning: %s holds %d reads (odd) — dropping the trailing unpaired read to keep later libraries paired", f, len(block))
-			block = block[:len(block)-1]
-		}
-		lib := seq.Library{Name: f, InsertSize: seq.DefaultInsertSize, InsertStd: seq.DefaultInsertStd}
 		if len(inserts) > 0 {
-			lib.InsertSize = inserts[i]
+			lib.InsertSize = inserts[li]
 			lib.InsertStd = lib.InsertSize / 10
 		}
 		if len(stds) > 0 {
-			lib.InsertStd = stds[i]
+			lib.InsertStd = stds[li]
 		}
-		libs[i] = lib
+		libs[li] = lib
+	}
+
+	var reads []seq.Read
+	for i, inf := range inputs {
+		block, err := fastx.ReadReadsFile(inf.path)
+		if err != nil {
+			log.Fatalf("mhm: reading %s: %v", inf.path, err)
+		}
+		// Pairing is positional (mates at global indices 2i and 2i+1), so an
+		// odd-length block would misalign every later block's pairs; drop the
+		// trailing unpaired read of any non-final file.
+		if len(block)%2 != 0 && i != len(inputs)-1 {
+			log.Printf("mhm: warning: %s holds %d reads (odd) — dropping the trailing unpaired read to keep later blocks paired", inf.path, len(block))
+			block = block[:len(block)-1]
+		}
 		for j := range block {
-			block[j].LibID = uint8(i)
+			block[j].LibID = inf.lib
+			block[j].SampleID = inf.sample
 		}
 		reads = append(reads, block...)
-		log.Printf("mhm: %s: %d reads loaded (library %d, insert %d±%d)",
-			f, len(block), i, lib.InsertSize, lib.InsertStd)
+		if len(sampleSpecs) > 0 {
+			log.Printf("mhm: %s: %d reads loaded (sample %s, library %d, insert %d±%d)",
+				inf.path, len(block), sampleSpecs[inf.sample].Name, inf.lib,
+				libs[inf.lib].InsertSize, libs[inf.lib].InsertStd)
+		} else {
+			log.Printf("mhm: %s: %d reads loaded (library %d, insert %d±%d)",
+				inf.path, len(block), inf.lib, libs[inf.lib].InsertSize, libs[inf.lib].InsertStd)
+		}
 	}
 
 	cfg := core.DefaultConfig(*ranks)
@@ -247,6 +364,22 @@ func main() {
 		float64(s.BytesSent)/1e6, float64(s.BytesReceived)/1e6, float64(s.OffNodeBytes)/1e6)
 	fmt.Printf("peak resident collective payload (worst rank): %.1f KB\n",
 		float64(s.PeakResidentBytes)/1e3)
+	if len(sampleSpecs) > 0 {
+		// Co-assembly: report how much of each sample the pooled assembly
+		// explains by localizing every read back onto the scaffolds.
+		sampleNames := make([]string, len(sampleSpecs))
+		for i, sp := range sampleSpecs {
+			sampleNames[i] = sp.Name
+		}
+		fmt.Println("per-sample read localization:")
+		for _, sa := range eval.AbundanceReport(seqs, reads, sampleNames, nil, eval.DefaultOptions()) {
+			frac := 0.0
+			if sa.Reads > 0 {
+				frac = float64(sa.Localized) / float64(sa.Reads)
+			}
+			fmt.Printf("  %-12s %d/%d reads localized (%.1f%%)\n", sa.Sample, sa.Localized, sa.Reads, 100*frac)
+		}
+	}
 	fmt.Printf("wrote %d sequences to %s\n", len(seqs), *out)
 	writeMemProfile()
 }

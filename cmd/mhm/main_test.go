@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -37,6 +39,67 @@ func TestValidateMachineShape(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Fatalf("validateMachineShape(%d, %d) = %q, want it to contain %q", tc.ranks, tc.ranksPerNode, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseSampleReads(t *testing.T) {
+	big := make([]string, 257)
+	for i := range big {
+		big[i] = fmt.Sprintf("s%d=f%d.fastq", i, i)
+	}
+	manyLibs := make([]string, 257)
+	for i := range manyLibs {
+		manyLibs[i] = fmt.Sprintf("f%d.fastq", i)
+	}
+	cases := []struct {
+		name    string
+		spec    string
+		want    []sampleReadsSpec
+		wantErr string // substring of the error, "" = valid
+	}{
+		{"empty spec", "", nil, ""},
+		{"one sample one library", "t0=a.fastq",
+			[]sampleReadsSpec{{Name: "t0", Files: []string{"a.fastq"}}}, ""},
+		{"two samples", "t0=a.fastq;t1=b.fastq",
+			[]sampleReadsSpec{{Name: "t0", Files: []string{"a.fastq"}}, {Name: "t1", Files: []string{"b.fastq"}}}, ""},
+		{"two libraries per sample", "t0=pe.fastq,mp.fastq;t1=pe2.fastq,mp2.fastq",
+			[]sampleReadsSpec{
+				{Name: "t0", Files: []string{"pe.fastq", "mp.fastq"}},
+				{Name: "t1", Files: []string{"pe2.fastq", "mp2.fastq"}}}, ""},
+		{"whitespace trimmed", " t0 = a.fastq ; t1 = b.fastq ",
+			[]sampleReadsSpec{{Name: "t0", Files: []string{"a.fastq"}}, {Name: "t1", Files: []string{"b.fastq"}}}, ""},
+		{"equals inside a path", "t0=dir=odd/a.fastq",
+			[]sampleReadsSpec{{Name: "t0", Files: []string{"dir=odd/a.fastq"}}}, ""},
+		{"missing equals", "t0", nil, "want name=file"},
+		{"empty entry", "t0=a.fastq;;t1=b.fastq", nil, "entry 1 is empty"},
+		{"empty name", "=a.fastq", nil, "empty name"},
+		{"blank name", "  =a.fastq", nil, "empty name"},
+		{"duplicate name", "t0=a.fastq;t0=b.fastq", nil, `duplicate sample name "t0"`},
+		{"empty file", "t0=a.fastq,", nil, "empty file name"},
+		{"only empty file", "t0=", nil, "empty file name"},
+		{"ragged library counts", "t0=a.fastq,b.fastq;t1=c.fastq", nil, "every sample must provide the same libraries"},
+		{"too many samples", strings.Join(big, ";"), nil, "exceed the 256"},
+		{"too many libraries", "t0=" + strings.Join(manyLibs, ","), nil, "exceed the 256"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseSampleReads(tc.spec)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseSampleReads(%q) error = %v, want nil", tc.spec, err)
+				}
+				if !reflect.DeepEqual(got, tc.want) {
+					t.Fatalf("parseSampleReads(%q) = %+v, want %+v", tc.spec, got, tc.want)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseSampleReads(%q) = nil error, want error containing %q", tc.spec, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseSampleReads(%q) = %q, want it to contain %q", tc.spec, err, tc.wantErr)
 			}
 		})
 	}

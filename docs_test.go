@@ -92,7 +92,16 @@ func TestDocsRequiredCrossLinks(t *testing.T) {
 			// cancellation/abort wiring.
 			"## 10. Assembly as a service: admission control and the job lifecycle",
 			"head-of-line", "Retry-After", "AbortOnCancel",
-			"TestServeConcurrentJobsRace", "FuzzJobSpecDecode"},
+			"TestServeConcurrentJobsRace", "FuzzJobSpecDecode",
+			// The co-assembly documentation: the design notes own the
+			// sample-vs-library distinction, the shorthand-equivalence
+			// contract, and why abundance is recovered from localization
+			// counts.
+			"## 11. Multi-sample co-assembly",
+			"SampleID", "TestSingleSampleShorthandEquivalence",
+			"MinKmerCount", "AbundanceReport", "ErrInputMismatch",
+			"TestCoassemblyRecoversLowAbundance", "FuzzSampleConfigNormalize",
+			"BENCH_coassembly.json"},
 		"TUTORIAL.md": {"## 6. Surviving a mid-run kill",
 			"-fail-after-stage", "manifest head", "DESIGN.md) §8",
 			// The tutorial owns the practical guidance on -workers and the
@@ -105,7 +114,12 @@ func TestDocsRequiredCrossLinks(t *testing.T) {
 			// The tutorial owns the serving walkthrough: submit, stream,
 			// fetch, and the load generator.
 			"## 8. Serving assemblies", "mhmserve", "/v1/jobs",
-			"DESIGN.md) §10", "BENCH_serve.json"},
+			"DESIGN.md) §10", "BENCH_serve.json",
+			// The tutorial owns the co-assembly walkthrough: simulate the
+			// time series, co-assemble the union, recover the abundances.
+			"## 9. Multi-sample co-assembly", "-samples", "-sample-drift",
+			"-sample-reads", "DESIGN.md) §11", "examples/coassembly",
+			"BENCH_coassembly.json"},
 	}
 	for doc, wants := range sections {
 		data, err := os.ReadFile(doc)

@@ -1,0 +1,85 @@
+// Multi-sample co-assembly with per-sample abundance recovery: simulate
+// four time-series samples of one community whose rarest organism is too
+// shallow in any single sample to assemble (its per-sample depth sits below
+// the assembler's error-filter threshold), co-assemble the pooled reads,
+// and show that the union recovers the rare genome while the best single
+// sample cannot. The per-sample abundance profile is then recovered from
+// the co-assembly by read localization — the scenario TUTORIAL.md walks
+// through.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mhmgo"
+)
+
+func main() {
+	// 1. The canonical co-assembly scenario: three common organisms plus one
+	//    rare one at 4% abundance, sequenced as four time-series samples that
+	//    split the coverage budget.
+	const numSamples = 4
+	comm, readCfg := mhmgo.CoassemblyScenario(numSamples, 42)
+	reads := mhmgo.SimulateReads(comm, readCfg)
+	norm := readCfg.Normalized()
+	names := make([]string, len(norm.Samples))
+	for i, s := range norm.Samples {
+		names[i] = s.Name
+	}
+	rare := comm.Genomes[0]
+	for _, g := range comm.Genomes {
+		if g.Abundance < rare.Abundance {
+			rare = g
+		}
+	}
+	fmt.Printf("community: %d genomes; rare genome %s at %.0f%% abundance; %d reads across %d samples\n",
+		len(comm.Genomes), rare.Name, 100*rare.Abundance, len(reads), numSamples)
+
+	cfg := mhmgo.DefaultConfig(4)
+	cfg.KMin, cfg.KMax, cfg.KStep = 21, 33, 12
+	cfg.InsertSize, cfg.InsertStd = 280, 25
+
+	rareFraction := func(rd []mhmgo.Read) (*mhmgo.Result, float64) {
+		res, err := mhmgo.Assemble(rd, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := mhmgo.Evaluate("run", res.FinalSequences(), comm)
+		for _, g := range rep.PerGenome {
+			if g.Name == rare.Name {
+				return res, g.GenomeFraction
+			}
+		}
+		return res, 0
+	}
+
+	// 2. Each sample alone: the rare genome's per-sample depth is below the
+	//    k-mer error filter, so its coverage stays fragmentary.
+	perSample := make([][]mhmgo.Read, numSamples)
+	for _, r := range reads {
+		perSample[r.SampleID] = append(perSample[r.SampleID], r)
+	}
+	best := 0.0
+	for si, sub := range perSample {
+		_, frac := rareFraction(sub)
+		fmt.Printf("sample %-4s alone: rare genome %5.1f%% recovered (%d reads)\n",
+			names[si], 100*frac, len(sub))
+		if frac > best {
+			best = frac
+		}
+	}
+
+	// 3. The co-assembly: pooling the union of all samples' reads lifts the
+	//    rare genome's depth above the filter, and it assembles.
+	coRes, coFrac := rareFraction(reads)
+	fmt.Printf("co-assembly of all samples: rare genome %5.1f%% recovered (best single sample: %5.1f%%)\n",
+		100*coFrac, 100*best)
+
+	// 4. Per-sample abundance recovery: localize every read back onto the
+	//    co-assembled sequences and roll the counts up per genome. Each
+	//    sample keeps its own abundance profile even though all samples were
+	//    assembled together.
+	fmt.Print(mhmgo.FormatAbundanceTable(
+		mhmgo.SampleAbundances(coRes.FinalSequences(), reads, names, comm)))
+}

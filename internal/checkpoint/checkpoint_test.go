@@ -170,7 +170,7 @@ func TestShardReadWrite(t *testing.T) {
 // itself, and the encoded size is never below the pgas reflective lower
 // bound, so checkpoint bytes can stand in for wire bytes in cost arguments.
 func TestCodecRoundTrip(t *testing.T) {
-	rd := seq.Read{ID: "pair1/1", Seq: []byte("ACGTACGTA"), Qual: []byte("IIIIIIIII"), LibID: 2}
+	rd := seq.Read{ID: "pair1/1", Seq: []byte("ACGTACGTA"), Qual: []byte("IIIIIIIII"), LibID: 2, SampleID: 3}
 	var e1 Enc
 	e1.Read(rd)
 	if got, min := len(e1.Bytes()), pgas.WireSizeOf(rd); got < min {
@@ -181,7 +181,7 @@ func TestCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rd2.ID != rd.ID || string(rd2.Seq) != string(rd.Seq) || string(rd2.Qual) != string(rd.Qual) || rd2.LibID != rd.LibID {
+	if rd2.ID != rd.ID || string(rd2.Seq) != string(rd.Seq) || string(rd2.Qual) != string(rd.Qual) || rd2.LibID != rd.LibID || rd2.SampleID != rd.SampleID {
 		t.Errorf("read round trip: got %+v want %+v", rd2, rd)
 	}
 	if err := d.Done(); err != nil {

@@ -21,6 +21,7 @@ func (e *Enc) Read(r seq.Read) {
 	e.Blob(r.Seq)
 	e.Blob(r.Qual)
 	e.U8(r.LibID)
+	e.U8(r.SampleID)
 }
 
 // Read decodes a sequencing read.
@@ -37,6 +38,9 @@ func (d *Dec) Read() (seq.Read, error) {
 		return r, err
 	}
 	if r.LibID, err = d.U8(); err != nil {
+		return r, err
+	}
+	if r.SampleID, err = d.U8(); err != nil {
 		return r, err
 	}
 	if err = r.Validate(); err != nil {

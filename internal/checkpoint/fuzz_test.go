@@ -11,7 +11,7 @@ import (
 )
 
 func mustRead() seq.Read {
-	return seq.Read{ID: "pair1/1", Seq: []byte("ACGTACGTA"), Qual: []byte("IIIIIIIII"), LibID: 1}
+	return seq.Read{ID: "pair1/1", Seq: []byte("ACGTACGTA"), Qual: []byte("IIIIIIIII"), LibID: 1, SampleID: 2}
 }
 
 func mustAlignment() aligner.Alignment {

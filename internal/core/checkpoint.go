@@ -136,7 +136,12 @@ func ConfigHash(cfg Config) string {
 }
 
 // inputHash returns the hex SHA-256 over the full input read set, with
-// length framing so field boundaries cannot alias.
+// length framing so field boundaries cannot alias. The hash covers the
+// per-read library AND sample tags: two read sets that differ only in which
+// sample their reads belong to are different co-assembly inputs, and a
+// checkpoint written before the sample axis existed fails the manifest's
+// input check (ErrInputMismatch) instead of resuming with mis-attributed
+// reads.
 func inputHash(reads []seq.Read) string {
 	h := sha256.New()
 	var lenBuf [8]byte
@@ -151,7 +156,7 @@ func inputHash(reads []seq.Read) string {
 		frame([]byte(reads[i].ID))
 		frame(reads[i].Seq)
 		frame(reads[i].Qual)
-		h.Write([]byte{reads[i].LibID})
+		h.Write([]byte{reads[i].LibID, reads[i].SampleID})
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -203,7 +208,12 @@ type rankState struct {
 	rounds        []RoundStats
 }
 
-const rankStateMagic = "mhm-rank-state-v1"
+// rankStateMagic versions the per-rank shard format. v2 widened the read
+// record with the SampleID tag; a v1 shard (written before the sample axis
+// existed) is refused at decode — its magic no longer matches — so an old
+// checkpoint surfaces as ErrCorruptShard instead of mis-decoding the tail
+// of every read record.
+const rankStateMagic = "mhm-rank-state-v2"
 
 // encodeRankState serializes a rankState into the checkpoint wire format.
 func encodeRankState(st *rankState) []byte {

@@ -409,8 +409,8 @@ func FuzzRankStateDecode(f *testing.F) {
 		ranks: 3, rank: 1, it: 1, stage: stageIdxAlignment,
 		clock: 12.375, resident: 4096,
 		reads: []seq.Read{
-			{ID: "pair1/1", Seq: []byte("ACGTACGTA"), Qual: []byte("IIIIIIIII"), LibID: 0},
-			{ID: "pair1/2", Seq: []byte("TTGCAACGT"), Qual: []byte("IIIIIIIII"), LibID: 0},
+			{ID: "pair1/1", Seq: []byte("ACGTACGTA"), Qual: []byte("IIIIIIIII"), LibID: 0, SampleID: 1},
+			{ID: "pair1/2", Seq: []byte("TTGCAACGT"), Qual: []byte("IIIIIIIII"), LibID: 0, SampleID: 1},
 		},
 		readOffset: 2, shippedReadBytes: 96,
 		distinctKmers: 123, heavyHitterMax: 17, alignedFrac: 0.875, localAsmBases: 40, cacheHitRate: 0.5,
@@ -424,7 +424,7 @@ func FuzzRankStateDecode(f *testing.F) {
 	counts := rankState{
 		ranks: 1, rank: 0, it: 0, stage: stageIdxKmerAnalysis,
 		clock: 1.5, resident: 128,
-		reads:     []seq.Read{{ID: "r", Seq: []byte("ACGT")}},
+		reads:     []seq.Read{{ID: "r", Seq: []byte("ACGT"), SampleID: 3}},
 		hasCounts: true,
 		counts:    []seq.KmerCount{{Kmer: seq.MustKmer("ACGTACGTACGTACGTACGTA"), Count: 3}},
 	}
@@ -441,7 +441,8 @@ func FuzzRankStateDecode(f *testing.F) {
 	}
 	f.Add(encodeRankState(&scaf))
 	f.Add([]byte{})
-	f.Add([]byte("mhm-rank-state-v1"))
+	f.Add([]byte("mhm-rank-state-v1")) // pre-SampleID shard magic: must be rejected, never mis-decoded
+	f.Add([]byte("mhm-rank-state-v2"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st, err := decodeRankState(data)

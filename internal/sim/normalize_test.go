@@ -26,7 +26,7 @@ func readsEqual(a, b []seq.Read) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].ID != b[i].ID || a[i].LibID != b[i].LibID ||
+		if a[i].ID != b[i].ID || a[i].LibID != b[i].LibID || a[i].SampleID != b[i].SampleID ||
 			!bytes.Equal(a[i].Seq, b[i].Seq) || !bytes.Equal(a[i].Qual, b[i].Qual) {
 			return false
 		}
@@ -165,6 +165,15 @@ func TestNormalizedIdempotent(t *testing.T) {
 			{InsertSize: 300, CoverageShare: 2}, {InsertSize: 1500}}}},
 		{"clamped inheritance", ReadConfig{ReadLen: 100, InsertSize: 220, Coverage: 4,
 			Libraries: []LibraryConfig{{ReadLen: 150}, {InsertSize: 900, CoverageShare: 0.5}}}},
+		{"single empty sample", ReadConfig{ReadLen: 80, InsertSize: 220, Coverage: 6, Seed: 4,
+			Samples: []SampleConfig{{}}}},
+		{"drifted samples", ReadConfig{ReadLen: 80, InsertSize: 220, Coverage: 6, Seed: 4,
+			Samples: []SampleConfig{{}, {AbundanceSigma: 0.5}, {AbundanceScale: []float64{2, 0.5}}}}},
+		{"contaminated sample shares", ReadConfig{ReadLen: 80, InsertSize: 220, Coverage: 6, Seed: 4,
+			Samples: []SampleConfig{{CoverageShare: 0.7}, {ContaminantFraction: 0.1}}}},
+		{"samples with libraries", ReadConfig{ReadLen: 80, Coverage: 6, Seed: 4,
+			Libraries: []LibraryConfig{{InsertSize: 300, CoverageShare: 0.75}, {InsertSize: 900}},
+			Samples:   []SampleConfig{{}, {AbundanceSigma: 0.3}}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Presets approximating the paper's datasets at laptop scale. The structural
 // parameters (number of organisms, abundance skew, error rate, paired-end
 // geometry) follow the paper; the absolute genome and read counts are scaled
@@ -89,6 +91,96 @@ func WetlandsLikeCommunity(organisms int, scale float64, seed int64) *Community 
 		Seed:           seed,
 	}
 	return GenerateCommunity(cfg)
+}
+
+// TimeSeriesSamples returns n sample configurations modelling a time series
+// over one environment: sample "t0" is the undrifted baseline and each later
+// sample "tK" drifts every genome's abundance by an independent log-normal
+// factor exp(N(0, sigma)). n <= 0 defaults to 2 samples, sigma <= 0 to 0.4 —
+// enough drift that rare organisms move in and out of assemblable coverage
+// between samples while the community's membership stays fixed.
+func TimeSeriesSamples(n int, sigma float64) []SampleConfig {
+	if n <= 0 {
+		n = 2
+	}
+	if sigma <= 0 {
+		sigma = 0.4
+	}
+	out := make([]SampleConfig, n)
+	for i := range out {
+		out[i].Name = fmt.Sprintf("t%d", i)
+		if i > 0 {
+			out[i].AbundanceSigma = sigma
+		}
+	}
+	return out
+}
+
+// ContaminationSamples returns n sample configurations in which every sample
+// carries its own private contaminant genome drawing the given fraction of
+// that sample's reads — the cross-sample contamination setting where
+// co-assembly still works because the shared community dominates the union.
+// n <= 0 defaults to 2 samples, fraction <= 0 to 0.05.
+func ContaminationSamples(n int, fraction float64) []SampleConfig {
+	if n <= 0 {
+		n = 2
+	}
+	if fraction <= 0 {
+		fraction = 0.05
+	}
+	out := make([]SampleConfig, n)
+	for i := range out {
+		out[i].Name = fmt.Sprintf("c%d", i)
+		out[i].ContaminantFraction = fraction
+	}
+	return out
+}
+
+// CoassemblyScenario builds the canonical co-assembly demonstration: a small
+// community whose rarest organism is pinned at an abundance low enough that
+// no single sample's share of the coverage budget can assemble it (its
+// per-sample depth sits below the assembler's MinKmerCount=2 error filter),
+// while the union of all samples comfortably can. The returned ReadConfig
+// carries a TimeSeriesSamples list of the requested size; assemble each
+// sample's reads alone versus the union to observe the recovery gap.
+func CoassemblyScenario(samples int, seed int64) (*Community, ReadConfig) {
+	if samples <= 0 {
+		samples = 4
+	}
+	c := GenerateCommunity(CommunityConfig{
+		NumGenomes:     4,
+		MeanGenomeLen:  6000,
+		LenVariation:   0.15,
+		AbundanceSigma: 0.4,
+		RRNALen:        200,
+		RRNACopies:     1,
+		RRNADivergence: 0.02,
+		RepeatLen:      0,
+		StrainFraction: 0,
+		StrainSNPRate:  0.01,
+		Seed:           seed,
+	})
+	// Pin the abundance profile so the scenario does not depend on the
+	// log-normal draw: three common organisms and one rare one at 4%. At
+	// total coverage 40 split over 4 samples, the rare genome sees ~1.6x
+	// per sample (unassemblable: nearly every k-mer occurs once and is
+	// discarded as a sequencing error) but ~6.4x in the union.
+	pinned := []float64{0.32, 0.32, 0.32, 0.04}
+	for i := range c.Genomes {
+		if i < len(pinned) {
+			c.Genomes[i].Abundance = pinned[i]
+		}
+	}
+	rc := ReadConfig{
+		ReadLen:    100,
+		InsertSize: 280,
+		InsertStd:  25,
+		ErrorRate:  0.005,
+		Coverage:   40,
+		Seed:       seed + 1,
+		Samples:    TimeSeriesSamples(samples, 0.25),
+	}
+	return c, rc
 }
 
 // WeakScalingPoint describes one row of the paper's Table II weak-scaling

@@ -243,6 +243,61 @@ type LibraryConfig struct {
 	Seed int64
 }
 
+// SampleConfig describes one sample of a multi-sample co-assembly
+// simulation. All samples sequence the same underlying community — the
+// MetaHipMer2 co-assembly setting: many related samples of one environment —
+// but each sample sees its own abundance profile (time-series drift,
+// explicit per-genome scaling, or a sample-private contaminant) and draws
+// its reads from its own deterministic generator.
+type SampleConfig struct {
+	// Name labels the sample (defaults to "sampleN" for the N-th entry).
+	Name string
+	// CoverageShare is this sample's fraction of the total Coverage (or
+	// TotalPairs) budget, with the same unset/normalization semantics as
+	// LibraryConfig.CoverageShare: zero means "unset", unset samples split
+	// the budget the set shares left unclaimed, and shares are normalized
+	// to sum to 1.
+	CoverageShare float64
+	// AbundanceSigma, when > 0, drifts every genome's abundance by an
+	// independent log-normal factor exp(N(0, sigma)) drawn from the
+	// sample's seed — the time-series model: same organisms, different
+	// relative abundances per sampling event. Zero leaves the community's
+	// abundances untouched.
+	AbundanceSigma float64
+	// AbundanceScale, when non-empty, multiplies genome i's abundance by
+	// AbundanceScale[i] (entries beyond the list keep factor 1). It
+	// overrides AbundanceSigma, giving tests and presets exact control
+	// over a sample's abundance profile.
+	AbundanceScale []float64
+	// ContaminantFraction, when > 0, plants a sample-private contaminant
+	// genome (random sequence, absent from every other sample and from the
+	// community's references) sized so that this fraction of the sample's
+	// reads are drawn from it. Clamped to [0, 0.9]. ContaminantLen is the
+	// contaminant genome's length; unset defaults to 5000 bases, long
+	// enough for every standard insert geometry.
+	ContaminantFraction float64
+	ContaminantLen      int
+	// Seed seeds this sample's generators (abundance drift, contaminant
+	// sequence, and the per-library read streams); 0 derives a distinct
+	// seed from the parent ReadConfig.Seed and the sample index — sample 0
+	// inherits the parent seed exactly, so a one-sample config reproduces
+	// the no-samples shorthand byte for byte.
+	Seed int64
+}
+
+// sampleSeedStride derives per-sample seeds: sample i gets
+// cfg.Seed + sampleSeedStride*i, so sample 0 keeps the parent seed (the
+// one-sample equivalence guarantee) and later samples get well-separated
+// streams. The stride is a prime distinct from the per-library stride
+// (1000003) so sample and library derivations cannot collide.
+const sampleSeedStride = 500009
+
+// defaultContaminantLen is the contaminant genome length when a sample sets
+// ContaminantFraction without ContaminantLen: comfortably above the
+// insert+4*std+2 minimum the fragment sampler requires for every standard
+// library geometry.
+const defaultContaminantLen = 5000
+
 // ReadConfig controls paired-end read simulation (WGSim-like).
 type ReadConfig struct {
 	// ReadLen is the length of each read of a pair.
@@ -268,6 +323,14 @@ type ReadConfig struct {
 	// single-library shorthand: ReadLen/InsertSize/InsertStd above describe
 	// library 0 and all reads carry LibID 0.
 	Libraries []LibraryConfig
+	// Samples, when non-empty, switches the simulator to multi-sample mode:
+	// every entry sequences the same community (through its own abundance
+	// view) with the full library structure above, the Coverage/TotalPairs
+	// budget is divided between samples by CoverageShare, and every read is
+	// tagged with its sample index in Read.SampleID. An empty list is the
+	// single-sample shorthand: all reads carry SampleID 0, and a one-entry
+	// Samples list with an empty SampleConfig{} is byte-identical to it.
+	Samples []SampleConfig
 	// Seed seeds the deterministic generator.
 	Seed int64
 }
@@ -333,7 +396,7 @@ func (cfg ReadConfig) Normalized() ReadConfig {
 	}
 	if len(cfg.Libraries) > 0 {
 		libs := append([]LibraryConfig(nil), cfg.Libraries...)
-		shareSum, unset := 0.0, 0
+		shares := make([]float64, len(libs))
 		for i := range libs {
 			if libs[i].Name == "" {
 				libs[i].Name = fmt.Sprintf("lib%d", i)
@@ -357,42 +420,90 @@ func (cfg ReadConfig) Normalized() ReadConfig {
 			if libs[i].InsertStd <= 0 {
 				libs[i].InsertStd = libs[i].InsertSize / 10
 			}
-			if libs[i].Seed == 0 {
+			// Per-library seeds derive from the parent seed — except in
+			// multi-sample mode, where each sample re-derives them from its
+			// own sample seed (see SimulateReads): filling them here would
+			// hand every sample the same fragment streams. An explicitly
+			// set library seed is honored verbatim in every sample, which
+			// deliberately correlates the samples.
+			if libs[i].Seed == 0 && len(cfg.Samples) == 0 {
 				libs[i].Seed = cfg.Seed + 1000003*int64(i+1)
 			}
-			if libs[i].CoverageShare <= 0 {
-				libs[i].CoverageShare = 0
-				unset++
-			}
-			shareSum += libs[i].CoverageShare
+			shares[i] = libs[i].CoverageShare
 		}
-		// A zero share means "unset": unset libraries split whatever the
-		// set shares left unclaimed, and if the set shares already claim
-		// everything, each unset library gets the mean set share so it can
-		// never silently simulate zero reads.
-		if unset > 0 {
-			fill := (1 - shareSum) / float64(unset)
-			if shareSum >= 1 {
-				fill = shareSum / float64(len(libs)-unset)
-			}
-			for i := range libs {
-				if libs[i].CoverageShare == 0 {
-					libs[i].CoverageShare = fill
-					shareSum += fill
-				}
-			}
-		}
-		// Skip the division when the shares already sum to 1 (within float
-		// drift): dividing by a sum a few ulps off 1 would nudge every share,
-		// making Normalized non-idempotent.
-		if math.Abs(shareSum-1) > 1e-9 {
-			for i := range libs {
-				libs[i].CoverageShare /= shareSum
-			}
+		fillShares(shares)
+		for i := range libs {
+			libs[i].CoverageShare = shares[i]
 		}
 		cfg.Libraries = libs
 	}
+	if len(cfg.Samples) > 0 {
+		samples := append([]SampleConfig(nil), cfg.Samples...)
+		shares := make([]float64, len(samples))
+		for i := range samples {
+			if samples[i].Name == "" {
+				samples[i].Name = fmt.Sprintf("sample%d", i)
+			}
+			if samples[i].Seed == 0 {
+				samples[i].Seed = cfg.Seed + sampleSeedStride*int64(i)
+			}
+			if samples[i].AbundanceSigma < 0 {
+				samples[i].AbundanceSigma = 0
+			}
+			if samples[i].ContaminantFraction < 0 {
+				samples[i].ContaminantFraction = 0
+			}
+			if samples[i].ContaminantFraction > 0.9 {
+				samples[i].ContaminantFraction = 0.9
+			}
+			if samples[i].ContaminantFraction > 0 && samples[i].ContaminantLen <= 0 {
+				samples[i].ContaminantLen = defaultContaminantLen
+			}
+			shares[i] = samples[i].CoverageShare
+		}
+		fillShares(shares)
+		for i := range samples {
+			samples[i].CoverageShare = shares[i]
+		}
+		cfg.Samples = samples
+	}
 	return cfg
+}
+
+// fillShares normalizes a coverage-share list in place, with the same
+// semantics for libraries and samples. A non-positive share means "unset":
+// unset entries split whatever the set shares left unclaimed, and if the set
+// shares already claim everything, each unset entry gets the mean set share
+// so it can never silently simulate zero reads. The division to a unit sum
+// is skipped when the shares already sum to 1 within float drift — dividing
+// by a sum a few ulps off 1 would nudge every share, making Normalized
+// non-idempotent.
+func fillShares(shares []float64) {
+	shareSum, unset := 0.0, 0
+	for i := range shares {
+		if shares[i] <= 0 {
+			shares[i] = 0
+			unset++
+		}
+		shareSum += shares[i]
+	}
+	if unset > 0 {
+		fill := (1 - shareSum) / float64(unset)
+		if shareSum >= 1 {
+			fill = shareSum / float64(len(shares)-unset)
+		}
+		for i := range shares {
+			if shares[i] == 0 {
+				shares[i] = fill
+				shareSum += fill
+			}
+		}
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		for i := range shares {
+			shares[i] /= shareSum
+		}
+	}
 }
 
 // SimulateReads generates paired-end reads from the community. The returned
@@ -405,13 +516,50 @@ func (cfg ReadConfig) Normalized() ReadConfig {
 // carries its library index in Read.LibID; pair indices continue across
 // libraries so IDs stay globally unique. The effective geometry — including
 // the 2*ReadLen insert clamp — is cfg.Normalized().
+//
+// With cfg.Samples set, each sample's reads are generated in sequence from
+// that sample's abundance view of the community (see SampleConfig), every
+// read additionally carries its sample index in Read.SampleID, and pair
+// indices continue across samples. Each sample re-derives its unset library
+// seeds from its own sample seed, so two samples never replay the same
+// fragment stream.
 func SimulateReads(c *Community, cfg ReadConfig) []seq.Read {
 	cfg = cfg.Normalized()
-	if len(cfg.Libraries) == 0 {
-		return simulateLibrary(c, cfg, 0, 0)
+	if len(cfg.Samples) == 0 {
+		return simulateSample(c, cfg, 0, 0)
 	}
 	var reads []seq.Read
 	pairBase := 0
+	for si, s := range cfg.Samples {
+		sub := cfg
+		sub.Samples = nil
+		sub.Seed = s.Seed
+		// Re-normalizing with the sample seed fills the library seeds the
+		// parent normalization deliberately left unset; every other field is
+		// already normalized, and Normalized is idempotent over those.
+		sub = sub.Normalized()
+		if cfg.TotalPairs > 0 {
+			sub.TotalPairs = int(math.Round(float64(cfg.TotalPairs) * s.CoverageShare))
+			sub.Coverage = 0
+		} else {
+			sub.Coverage = cfg.Coverage * s.CoverageShare
+		}
+		block := simulateSample(sampleCommunity(c, s), sub, uint8(si), pairBase)
+		pairBase += len(block) / 2
+		reads = append(reads, block...)
+	}
+	return reads
+}
+
+// simulateSample generates one sample's reads: the single- or multi-library
+// dispatch over that sample's community view. cfg must already be normalized
+// and carry the sample's budget and seed; sampleID tags every read and
+// pairBase offsets the pair indices encoded into read IDs.
+func simulateSample(c *Community, cfg ReadConfig, sampleID uint8, pairBase int) []seq.Read {
+	if len(cfg.Libraries) == 0 {
+		return simulateLibrary(c, cfg, sampleID, 0, pairBase)
+	}
+	var reads []seq.Read
 	for i, lib := range cfg.Libraries {
 		libCfg := ReadConfig{
 			ReadLen:    lib.ReadLen,
@@ -425,17 +573,67 @@ func SimulateReads(c *Community, cfg ReadConfig) []seq.Read {
 		} else {
 			libCfg.Coverage = cfg.Coverage * lib.CoverageShare
 		}
-		block := simulateLibrary(c, libCfg, uint8(i), pairBase)
+		block := simulateLibrary(c, libCfg, sampleID, uint8(i), pairBase)
 		pairBase += len(block) / 2
 		reads = append(reads, block...)
 	}
 	return reads
 }
 
+// sampleCommunity returns the community as one sample sees it. An undrifted
+// sample (no sigma, no scale list, no contaminant) gets the community
+// pointer back unchanged — not a copy — so the one-sample shorthand touches
+// no abundance float and stays bit-identical to the no-samples path.
+//
+// Drifted abundances are deliberately not renormalized to sum to 1: the
+// fragment sampler weights each genome by abundance*length over the sum of
+// those weights, so only relative abundances matter and renormalizing would
+// perturb every float for no behavioral difference.
+func sampleCommunity(c *Community, s SampleConfig) *Community {
+	if s.AbundanceSigma == 0 && len(s.AbundanceScale) == 0 && s.ContaminantFraction == 0 {
+		return c
+	}
+	view := &Community{RRNAMarker: c.RRNAMarker}
+	view.Genomes = append([]Genome(nil), c.Genomes...)
+	if len(s.AbundanceScale) > 0 {
+		for i := range view.Genomes {
+			if i < len(s.AbundanceScale) {
+				f := s.AbundanceScale[i]
+				if f < 0 {
+					f = 0
+				}
+				view.Genomes[i].Abundance *= f
+			}
+		}
+	} else if s.AbundanceSigma > 0 {
+		dr := rand.New(rand.NewSource(s.Seed + 7919))
+		for i := range view.Genomes {
+			view.Genomes[i].Abundance *= math.Exp(dr.NormFloat64() * s.AbundanceSigma)
+		}
+	}
+	if s.ContaminantFraction > 0 {
+		// A sample-private contaminant: random sequence absent from every
+		// other sample. Its abundance a_c solves
+		// a_c*len_c / (a_c*len_c + S) = fraction, where S is the summed
+		// abundance*length weight of the real genomes, so the fragment
+		// sampler draws exactly that fraction of the sample's pairs from it.
+		cr := rand.New(rand.NewSource(s.Seed + 104729))
+		g := Genome{Name: "contam_" + s.Name, Seq: randomBases(cr, s.ContaminantLen)}
+		var weightSum float64
+		for _, og := range view.Genomes {
+			weightSum += og.Abundance * float64(len(og.Seq))
+		}
+		f := s.ContaminantFraction
+		g.Abundance = f * weightSum / ((1 - f) * float64(len(g.Seq)))
+		view.Genomes = append(view.Genomes, g)
+	}
+	return view
+}
+
 // simulateLibrary generates one library's interleaved pair block. cfg must
-// already be normalized; libID tags every read and pairBase offsets the pair
-// indices encoded into read IDs.
-func simulateLibrary(c *Community, cfg ReadConfig, libID uint8, pairBase int) []seq.Read {
+// already be normalized; sampleID and libID tag every read and pairBase
+// offsets the pair indices encoded into read IDs.
+func simulateLibrary(c *Community, cfg ReadConfig, sampleID, libID uint8, pairBase int) []seq.Read {
 	r := rand.New(rand.NewSource(cfg.Seed))
 
 	// Effective bases weighted by abundance decide per-genome pair counts.
@@ -476,8 +674,8 @@ func simulateLibrary(c *Community, cfg ReadConfig, libID uint8, pairBase int) []
 			rev, rq := applyErrors(r, seq.ReverseComplement(revSrc), cfg.ErrorRate)
 			idBase := fmt.Sprintf("%s:%d:%d", g.Name, start, pairIdx)
 			reads = append(reads,
-				seq.Read{ID: idBase + "/1", Seq: fwd, Qual: fq, LibID: libID},
-				seq.Read{ID: idBase + "/2", Seq: rev, Qual: rq, LibID: libID},
+				seq.Read{ID: idBase + "/1", Seq: fwd, Qual: fq, LibID: libID, SampleID: sampleID},
+				seq.Read{ID: idBase + "/2", Seq: rev, Qual: rq, LibID: libID, SampleID: sampleID},
 			)
 			pairIdx++
 		}

@@ -43,6 +43,14 @@ type (
 	// LibraryConfig describes one simulated library within a multi-library
 	// ReadConfig.
 	LibraryConfig = sim.LibraryConfig
+	// SampleConfig describes one sample of a multi-sample co-assembly
+	// simulation; see ReadConfig.Samples.
+	SampleConfig = sim.SampleConfig
+	// SampleAbundance is the per-sample abundance report recovered from a
+	// co-assembly by read localization.
+	SampleAbundance = eval.SampleAbundance
+	// GenomeAbundance is one genome's abundance estimate within one sample.
+	GenomeAbundance = eval.GenomeAbundance
 	// QualityReport is a metaQUAST-style evaluation of an assembly against
 	// the simulated references.
 	QualityReport = eval.Report
@@ -74,6 +82,27 @@ func TwoLibraryReadConfig(coverage float64, seed int64) ReadConfig {
 	return sim.TwoLibraryReadConfig(coverage, seed)
 }
 
+// TimeSeriesSamples returns n sample configurations modelling repeated
+// sampling of one environment: an undrifted baseline plus log-normally
+// drifted later samples. Attach the list to ReadConfig.Samples.
+func TimeSeriesSamples(n int, sigma float64) []SampleConfig {
+	return sim.TimeSeriesSamples(n, sigma)
+}
+
+// ContaminationSamples returns n sample configurations each carrying its own
+// private contaminant genome drawing the given fraction of that sample's
+// reads.
+func ContaminationSamples(n int, fraction float64) []SampleConfig {
+	return sim.ContaminationSamples(n, fraction)
+}
+
+// CoassemblyScenario builds the canonical co-assembly demonstration: a
+// community whose rarest organism no single sample can assemble, plus a
+// multi-sample ReadConfig whose pooled reads can. See examples/coassembly.
+func CoassemblyScenario(samples int, seed int64) (*Community, ReadConfig) {
+	return sim.CoassemblyScenario(samples, seed)
+}
+
 // SimulateCommunity generates a deterministic synthetic metagenome.
 func SimulateCommunity(cfg CommunityConfig) *Community { return sim.GenerateCommunity(cfg) }
 
@@ -91,4 +120,20 @@ func BuildRRNAProfile(examples [][]byte, conservation float64) *RRNAProfile {
 // producing the paper's Table I metrics.
 func Evaluate(name string, assembly [][]byte, comm *Community) QualityReport {
 	return eval.Evaluate(name, assembly, comm, eval.DefaultOptions())
+}
+
+// SampleAbundances recovers per-sample abundance estimates from a
+// co-assembly by localizing every read onto the assembled sequences and
+// counting, per sample, how many land on sequences attributed to each
+// reference genome. sampleNames labels SampleIDs in order ("sampleN" beyond
+// the list); comm may be nil to skip the per-genome rollup on
+// reference-free inputs.
+func SampleAbundances(assembly [][]byte, reads []Read, sampleNames []string, comm *Community) []SampleAbundance {
+	return eval.AbundanceReport(assembly, reads, sampleNames, comm, eval.DefaultOptions())
+}
+
+// FormatAbundanceTable renders per-sample abundance estimates as a table:
+// one row per sample, one column per genome.
+func FormatAbundanceTable(samples []SampleAbundance) string {
+	return eval.FormatAbundanceTable(samples)
 }
